@@ -1,0 +1,89 @@
+// Command impacc-bench regenerates the paper's evaluation tables and
+// figures (Table 1, Figures 2 and 5-15) plus the ablation studies.
+//
+// Usage:
+//
+//	impacc-bench -list
+//	impacc-bench -exp fig9
+//	impacc-bench -exp fig10,fig11 -quick
+//	impacc-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"impacc/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		csv   = flag.String("csv", "", "also write <id>.csv files with the raw series into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "impacc-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := bench.Options{Quick: *quick}
+	for _, e := range selected {
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "impacc-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csv != "" {
+			if err := writeCSV(*csv, e.ID, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "impacc-bench: csv %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV stores an experiment's raw series under dir/<id>.csv.
+func writeCSV(dir, id string, opt bench.Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ok, err := bench.WriteCSV(id, f, opt)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		os.Remove(f.Name()) // experiment has no tabular form
+	}
+	return nil
+}

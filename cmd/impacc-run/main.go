@@ -1,0 +1,185 @@
+// Command impacc-run launches one of the bundled evaluation applications
+// on a simulated system — the mpirun/aprun of the framework. Unlike
+// mpirun, the user specifies nodes, not tasks: the runtime creates one
+// task per accelerator automatically (paper §3.2).
+//
+// Examples:
+//
+//	impacc-run -app jacobi -system psg -n 1024 -iters 20
+//	impacc-run -app dgemm -system beacon:4 -mode legacy -n 2048
+//	impacc-run -app lulesh -system titan:27 -edge 16 -steps 5
+//	impacc-run -app ep -system psg -class C
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"impacc/internal/apps"
+	"impacc/internal/core"
+	"impacc/internal/topo"
+)
+
+func parseSystem(s string) (*topo.System, error) {
+	if strings.HasSuffix(s, ".json") {
+		f, err := os.Open(s)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topo.LoadSystem(f)
+	}
+	name, arg, hasArg := strings.Cut(s, ":")
+	n := 0
+	if hasArg {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad node count %q", arg)
+		}
+		n = v
+	}
+	switch name {
+	case "psg":
+		return topo.PSG(), nil
+	case "beacon":
+		if n == 0 {
+			n = 2
+		}
+		return topo.Beacon(n), nil
+	case "titan":
+		if n == 0 {
+			n = 2
+		}
+		return topo.Titan(n), nil
+	case "hetero":
+		return topo.HeteroDemo(), nil
+	}
+	return nil, fmt.Errorf("unknown system %q (psg, beacon:N, titan:N, hetero, or a .json config)", name)
+}
+
+func parseStyle(s string) (apps.Style, error) {
+	switch s {
+	case "sync":
+		return apps.StyleSync, nil
+	case "async":
+		return apps.StyleAsync, nil
+	case "unified":
+		return apps.StyleUnified, nil
+	}
+	return 0, fmt.Errorf("unknown style %q (sync, async, unified)", s)
+}
+
+var epClasses = map[string]apps.EPClass{
+	"S": apps.EPClassS, "W": apps.EPClassW, "A": apps.EPClassA,
+	"B": apps.EPClassB, "C": apps.EPClassC, "D": apps.EPClassD,
+	"E": apps.EPClassE, "64xE": apps.EPClassT,
+}
+
+func main() {
+	var (
+		app    = flag.String("app", "jacobi", "application: dgemm, ep, jacobi, lulesh")
+		system = flag.String("system", "psg", "system: psg, beacon:N, titan:N, hetero")
+		mode   = flag.String("mode", "impacc", "runtime: impacc or legacy")
+		style  = flag.String("style", "", "programming style: sync, async, unified (default: unified for impacc, async for legacy)")
+		tasks  = flag.Int("tasks", 0, "cap the task count (0 = one per accelerator)")
+		device = flag.String("devices", "", "IMPACC_ACC_DEVICE_TYPE selection, e.g. nvidia|xeonphi")
+		n      = flag.Int("n", 1024, "problem size (matrix/mesh edge)")
+		iters  = flag.Int("iters", 10, "jacobi iterations")
+		class  = flag.String("class", "A", "EP class: S W A B C D E 64xE")
+		edge   = flag.Int("edge", 16, "lulesh per-task mesh edge")
+		steps  = flag.Int("steps", 5, "lulesh steps")
+		verify = flag.Bool("verify", false, "verify results against serial references (forces -backed)")
+		backed = flag.Bool("backed", false, "attach real storage (compute genuine data)")
+		seed   = flag.Uint64("seed", 2016, "random seed")
+		trace  = flag.String("trace", "", "write a Chrome-trace timeline (view in Perfetto) to this file")
+		report = flag.String("report", "", "write the full run report as JSON to this file")
+	)
+	flag.Parse()
+
+	sys, err := parseSystem(*system)
+	fatal(err)
+
+	m := core.IMPACC
+	switch *mode {
+	case "impacc":
+	case "legacy":
+		m = core.Legacy
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	st := apps.StyleUnified
+	if m == core.Legacy {
+		st = apps.StyleAsync
+	}
+	if *style != "" {
+		st, err = parseStyle(*style)
+		fatal(err)
+	}
+	if *verify {
+		*backed = true
+	}
+
+	mask, err := topo.ParseClassMask(*device)
+	fatal(err)
+	cfg := core.Config{
+		System: sys, Mode: m, MaxTasks: *tasks, DeviceTypes: mask,
+		Backed: *backed, Seed: *seed, JitterPct: 1,
+	}
+	if *trace != "" {
+		cfg.Trace = core.NewTracer()
+	}
+
+	var prog core.Program
+	switch *app {
+	case "dgemm":
+		prog = apps.DGEMM(apps.DGEMMConfig{N: *n, Style: st, Verify: *verify})
+	case "ep":
+		c, ok := epClasses[*class]
+		if !ok {
+			fatal(fmt.Errorf("unknown EP class %q", *class))
+		}
+		shift := 0
+		if *backed {
+			shift = 12 // execute a sample of the pairs, price the full class
+		}
+		prog = apps.EP(apps.EPConfig{Class: c, Style: st, SampleShift: shift, Verify: *verify})
+	case "jacobi":
+		prog = apps.Jacobi(apps.JacobiConfig{N: *n, Iters: *iters, Style: st, Verify: *verify})
+	case "lulesh":
+		prog = apps.LULESH(apps.LULESHConfig{Edge: *edge, Steps: *steps, Verify: *verify})
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	rep, err := core.Run(cfg, prog)
+	fatal(err)
+	rep.Print(os.Stdout)
+	fmt.Printf("  per-task: comm max %v, kernel mean %v\n", rep.MaxComm(), rep.MeanKernel())
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		fatal(err)
+		fatal(cfg.Trace.WriteChromeTrace(f))
+		fatal(f.Close())
+		fmt.Printf("  trace: %d spans -> %s\n", cfg.Trace.Len(), *trace)
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		fatal(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		fatal(enc.Encode(rep))
+		fatal(f.Close())
+		fmt.Printf("  report -> %s\n", *report)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "impacc-run: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,36 @@
+// DGEMM reproduces the paper's blocked matrix-multiply study (§4.2) at
+// desk scale, with verification on: the root distributes read-only inputs
+// that IMPACC shares across same-node tasks via node heap aliasing instead
+// of copying.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impacc"
+	"impacc/internal/apps"
+	"impacc/internal/core"
+)
+
+func main() {
+	const n = 512
+
+	for _, mode := range []impacc.Mode{impacc.IMPACC, impacc.Legacy} {
+		style := apps.StyleUnified
+		if mode == impacc.Legacy {
+			style = apps.StyleAsync
+		}
+		cfg := impacc.Config{System: impacc.PSG(), Mode: mode, Backed: true, Seed: 11}
+		rep, err := core.Run(cfg, apps.DGEMM(apps.DGEMMConfig{N: n, Style: style, Verify: true}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hub := rep.TotalHub()
+		fmt.Printf("%-14s %d tasks  elapsed %-12v aliases %-3d fused copies %-3d (verified)\n",
+			mode, rep.NTasks, rep.Elapsed, hub.Aliases, hub.FusedCopies)
+	}
+	fmt.Println("\nUnder IMPACC the read-only A-blocks and the broadcast B matrix are")
+	fmt.Println("shared through the unified node virtual address space (Figure 7):")
+	fmt.Println("the distribution costs reference-count updates, not memory copies.")
+}

@@ -1,0 +1,56 @@
+// Heteromap demonstrates automatic task-device mapping on a heterogeneous
+// cluster (paper §3.2, Figure 2): the user picks device types with a bit
+// field; the runtime creates one task per matching accelerator and the
+// program load-balances by querying acc_get_device_type.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impacc"
+)
+
+func main() {
+	sys := impacc.HeteroDemo() // 3 unlike nodes: GPUs, Phis, CPU-only
+
+	for _, sel := range []struct {
+		name string
+		mask impacc.ClassMask
+	}{
+		{"acc_device_default", 0},
+		{"acc_device_nvidia", impacc.MaskOf(impacc.NVIDIAGPU)},
+		{"acc_device_nvidia|xeonphi", impacc.MaskOf(impacc.NVIDIAGPU, impacc.XeonPhi)},
+	} {
+		fmt.Printf("IMPACC_ACC_DEVICE_TYPE=%s\n", sel.name)
+		cfg := impacc.Config{System: sys, Mode: impacc.IMPACC, DeviceTypes: sel.mask, Backed: true}
+		_, err := impacc.Run(cfg, func(t *impacc.Task) {
+			// Manual load balancing à la §3.2: give flop-heavy work to
+			// GPUs, less to Phis, least to CPU sets.
+			var share float64
+			switch t.DeviceType() {
+			case impacc.NVIDIAGPU:
+				share = 4
+			case impacc.XeonPhi:
+				share = 3
+			default:
+				share = 1
+			}
+			t.Kernels(impacc.KernelSpec{
+				Name: "work", FLOPs: share * 1e9, Kind: impacc.KindCompute}, -1)
+			// Per-class communicator: tasks driving the same accelerator
+			// kind coordinate among themselves (MPI_Comm_split).
+			classComm := t.World().Split(int(t.DeviceType()), t.Rank())
+			in, out := t.Malloc(8), t.Malloc(8)
+			t.Floats(in, 1)[0] = share
+			classComm.Allreduce(in, out, 1, impacc.Float64, impacc.Sum)
+			fmt.Printf("  rank %2d -> node %d device %d (%v), share %v, class total %v (of %d peers)\n",
+				t.Rank(), t.NodeIdx(), t.DeviceIndex(), t.DeviceType(), share,
+				t.Floats(out, 1)[0], classComm.Size())
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

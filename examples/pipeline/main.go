@@ -1,0 +1,73 @@
+// Pipeline demonstrates the unified activity queue (paper §3.6, Figure 4c):
+// kernels and MPI transfers ride the same in-order OpenACC queue, so the
+// host thread issues the whole exchange pipeline without a single blocking
+// wait — compare the host-captive times printed for each style.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impacc"
+)
+
+const (
+	bufBytes = 8 << 20
+	iters    = 6
+)
+
+func pipeline(style string) (elapsed, hostCaptive impacc.Dur) {
+	cfg := impacc.Config{System: impacc.PSG(), Mode: impacc.IMPACC, MaxTasks: 2}
+	issue := make([]impacc.Dur, 2)
+	rep, err := impacc.Run(cfg, func(t *impacc.Task) {
+		peer := 1 - t.Rank()
+		buf0, buf1 := t.Malloc(bufBytes), t.Malloc(bufBytes)
+		t.DataEnter(buf0, bufBytes, impacc.Create)
+		t.DataEnter(buf1, bufBytes, impacc.Create)
+		count := bufBytes / 8
+		spec := impacc.KernelSpec{Name: "stage", FLOPs: 40 * float64(count), Kind: impacc.KindCompute}
+
+		for i := 0; i < iters; i++ {
+			switch style {
+			case "sync": // Figure 4 (a)
+				t.Kernels(spec, -1)
+				t.UpdateHost(buf0, bufBytes, -1)
+				if t.Rank() == 0 {
+					t.Send(buf0, count, impacc.Float64, peer, 1)
+					t.Recv(buf1, count, impacc.Float64, peer, 1)
+				} else {
+					t.Recv(buf1, count, impacc.Float64, peer, 1)
+					t.Send(buf0, count, impacc.Float64, peer, 1)
+				}
+				t.UpdateDevice(buf1, bufBytes, -1)
+				t.Kernels(spec, -1)
+			default: // Figure 4 (c): everything on queue 1, host never blocks
+				t.Kernels(spec, 1)
+				t.Isend(buf0, count, impacc.Float64, peer, 1, impacc.OnDevice(), impacc.Async(1))
+				t.Irecv(buf1, count, impacc.Float64, peer, 1, impacc.OnDevice(), impacc.Async(1))
+				t.Kernels(spec, 1)
+			}
+		}
+		issue[t.Rank()] = impacc.Dur(t.Now()) // host done issuing
+		if style != "sync" {
+			t.ACCWait(1)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	captive := issue[0]
+	if issue[1] > captive {
+		captive = issue[1]
+	}
+	return rep.Elapsed, captive
+}
+
+func main() {
+	for _, style := range []string{"sync", "unified"} {
+		elapsed, captive := pipeline(style)
+		fmt.Printf("%-8s elapsed %-12v host-captive %v\n", style, elapsed, captive)
+	}
+	fmt.Println("\nThe unified activity queue frees the host thread almost immediately")
+	fmt.Println("while the device queues drive kernels and MPI transfers in order.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: launch one MPI task per accelerator of a simulated PSG node,
+// pass a token around the ring, and reduce a checksum — the smallest
+// complete IMPACC program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"impacc"
+)
+
+func main() {
+	cfg := impacc.Config{
+		System: impacc.PSG(), // 1 node, 8 GPUs -> 8 tasks, no -np needed
+		Mode:   impacc.IMPACC,
+		Backed: true, // real data so we can verify the ring
+	}
+	rep, err := impacc.Run(cfg, func(t *impacc.Task) {
+		rank, size := t.Rank(), t.Size()
+		buf := t.Malloc(8)
+
+		// Ring: rank 0 injects a token; everyone increments and forwards.
+		if rank == 0 {
+			t.Floats(buf, 1)[0] = 1
+			t.Send(buf, 1, impacc.Float64, 1, 0)
+			t.Recv(buf, 1, impacc.Float64, size-1, 0)
+			got := t.Floats(buf, 1)[0]
+			fmt.Printf("ring token after %d hops: %v (want %v)\n", size, got, float64(size))
+		} else {
+			t.Recv(buf, 1, impacc.Float64, rank-1, 0)
+			t.Floats(buf, 1)[0]++
+			t.Send(buf, 1, impacc.Float64, (rank+1)%size, 0)
+		}
+
+		// Global reduction: sum of ranks.
+		in, out := t.Malloc(8), t.Malloc(8)
+		t.Floats(in, 1)[0] = float64(rank)
+		t.Allreduce(in, out, 1, impacc.Float64, impacc.Sum)
+		if rank == 0 {
+			fmt.Printf("allreduce sum of ranks: %v\n", t.Floats(out, 1)[0])
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Print(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module impacc
+
+go 1.23

@@ -1,0 +1,558 @@
+package accparse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure4c is the paper's Figure 4 (c) listing.
+const figure4c = `
+/* (c) IMPACC Unified Activity Queue */
+#pragma acc kernels loop async(1)
+for (i = 0; i < n; i++) { buf0[i] = 1; }
+#pragma acc mpi sendbuf(device) async(1)
+MPI_Isend(buf0, cnt, MPI_DOUBLE, dst, tag, comm, &req[0]);
+#pragma acc mpi recvbuf(device) async(1)
+MPI_Irecv(buf1, cnt, MPI_DOUBLE, src, tag, comm, &req[1]);
+#pragma acc kernels loop async(1)
+for (i = 0; i < n; i++) { x = buf1[i]; }
+`
+
+func TestParseFigure4c(t *testing.T) {
+	f, err := Parse("fig4c.c", figure4c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Directives) != 4 {
+		t.Fatalf("directives = %d, want 4", len(f.Directives))
+	}
+	kinds := []DirKind{DirKernels, DirMPI, DirMPI, DirKernels}
+	for i, d := range f.Directives {
+		if d.Kind != kinds[i] {
+			t.Fatalf("directive %d kind = %v, want %v", i, d.Kind, kinds[i])
+		}
+		if c, ok := d.Clause("async"); !ok || c.Args[0] != "1" {
+			t.Fatalf("directive %d missing async(1)", i)
+		}
+	}
+	send := f.Directives[1]
+	if send.MPICall == nil || send.MPICall.Name != "MPI_Isend" {
+		t.Fatalf("send call = %+v", send.MPICall)
+	}
+	if len(send.MPICall.Args) != 7 || send.MPICall.Args[0] != "buf0" || send.MPICall.Args[6] != "&req[0]" {
+		t.Fatalf("send args = %v", send.MPICall.Args)
+	}
+	if c, _ := send.Clause("sendbuf"); !c.Has("device") {
+		t.Fatal("sendbuf(device) lost")
+	}
+	if len(f.MPIDirectives()) != 2 {
+		t.Fatal("MPIDirectives filter wrong")
+	}
+}
+
+func TestParseSendbufReadonlySyntax(t *testing.T) {
+	// The Figure 7 shorthand: sendbuf(readonly) and both attributes.
+	src := `
+#pragma acc mpi sendbuf(device, readonly)
+MPI_Send(src, 100, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD);
+#pragma acc mpi recvbuf(readonly)
+MPI_Recv(dst, 10, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, &st);
+`
+	f, err := Parse("x.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Directives[0]
+	c, _ := s.Clause("sendbuf")
+	if !c.Has("device") || !c.Has("readonly") {
+		t.Fatalf("sendbuf attrs = %v", c.Args)
+	}
+	r := f.Directives[1]
+	c, _ = r.Clause("recvbuf")
+	if c.Has("device") || !c.Has("readonly") {
+		t.Fatalf("recvbuf attrs = %v", c.Args)
+	}
+}
+
+func TestParseDataConstructs(t *testing.T) {
+	src := `
+#pragma acc enter data copyin(a[0:n], b[0:n*m]) create(c[0:n])
+#pragma acc update device(a[0:n]) async(2)
+#pragma acc update self(c[0:n])
+#pragma acc exit data copyout(c[0:n]) delete(a, b)
+#pragma acc wait(2)
+#pragma acc wait
+`
+	f, err := Parse("d.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Directives) != 6 {
+		t.Fatalf("directives = %d", len(f.Directives))
+	}
+	enter := f.Directives[0]
+	c, _ := enter.Clause("copyin")
+	if len(c.Args) != 2 || c.Args[0] != "a[0:n]" || c.Args[1] != "b[0:n*m]" {
+		t.Fatalf("copyin args = %v", c.Args)
+	}
+	ops, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []OpKind{OpDataCopyin, OpDataCreate, OpUpdateDevice, OpUpdateHost,
+		OpDataCopyout, OpDataDelete, OpWaitQueue, OpWaitAll}
+	if len(ops) != len(kinds) {
+		t.Fatalf("ops = %d (%v), want %d", len(ops), ops, len(kinds))
+	}
+	for i, k := range kinds {
+		if ops[i].Kind != k {
+			t.Fatalf("op %d = %v, want %v", i, ops[i].Kind, k)
+		}
+	}
+	if ops[2].Queue != 2 {
+		t.Fatalf("update async queue = %d", ops[2].Queue)
+	}
+	if ops[3].Queue != SyncQueue {
+		t.Fatal("sync update must have SyncQueue")
+	}
+}
+
+func TestParseComputeConstruct(t *testing.T) {
+	src := `
+#pragma acc parallel loop num_gangs(128) vector_length(256) copyin(a[0:n]) copyout(b[0:n]) async(3)
+for (i = 0; i < n; i++) b[i] = a[i];
+`
+	f, err := Parse("k.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Directives[0]
+	if d.Kind != DirParallel {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if !strings.HasPrefix(d.Stmt, "for") {
+		t.Fatalf("attached stmt = %q", d.Stmt)
+	}
+	ops, _ := Lower(f)
+	// copyin, launch, copyout.
+	if len(ops) != 3 || ops[0].Kind != OpDataCopyin || ops[1].Kind != OpLaunch || ops[2].Kind != OpDataCopyout {
+		t.Fatalf("ops = %v", ops)
+	}
+	if ops[1].Queue != 3 {
+		t.Fatal("launch queue lost")
+	}
+	found := false
+	for _, a := range ops[1].Args {
+		if a == "num_gangs(128)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("launch geometry lost: %v", ops[1].Args)
+	}
+}
+
+func TestLineContinuations(t *testing.T) {
+	src := "#pragma acc mpi sendbuf(device) \\\n    async(1)\nMPI_Isend(b, n, MPI_DOUBLE, d, t, c, &r);\n"
+	f, err := Parse("cont.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Directives) != 1 {
+		t.Fatalf("directives = %d", len(f.Directives))
+	}
+	if _, ok := f.Directives[0].Clause("async"); !ok {
+		t.Fatal("continued async clause lost")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown directive", "#pragma acc bogus\n", "unknown acc directive"},
+		{"bad clause", "#pragma acc update frobnicate(x)\n", "not valid"},
+		{"update without direction", "#pragma acc update async(1)\n", "requires device, self, or host"},
+		{"enter data empty", "#pragma acc enter data async(1)\n", "requires at least one data clause"},
+		{"exit data empty", "#pragma acc exit data async(1)\n", "requires copyout or delete"},
+		{"mpi no call", "#pragma acc mpi sendbuf(device)\nx = 1;\n", "must immediately precede an MPI call"},
+		{"mpi bad attr", "#pragma acc mpi sendbuf(gpu)\nMPI_Send(b, 1, MPI_INT, 0, 0, c);\n", "invalid sendbuf attribute"},
+		{"mpi empty buf clause", "#pragma acc mpi sendbuf()\nMPI_Send(b, 1, MPI_INT, 0, 0, c);\n", "at least one attribute"},
+		{"async on blocking", "#pragma acc mpi sendbuf(device) async(1)\nMPI_Send(b, 1, MPI_INT, 0, 0, c);\n", "async requires a non-blocking MPI call"},
+		{"sendbuf on recv", "#pragma acc mpi sendbuf(device)\nMPI_Recv(b, 1, MPI_INT, 0, 0, c, &s);\n", "no send buffer"},
+		{"recvbuf on send", "#pragma acc mpi recvbuf(device)\nMPI_Send(b, 1, MPI_INT, 0, 0, c);\n", "no receive buffer"},
+		{"double async arg", "#pragma acc kernels async(1, 2)\nfor(;;);\n", "at most one queue"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("e.c", c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want contains %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestMPIAsyncDefaultQueue(t *testing.T) {
+	src := "#pragma acc mpi async\nMPI_Irecv(b, 1, MPI_INT, 0, 0, c, &r);\n"
+	f, err := Parse("q.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := Lower(f)
+	if len(ops) != 1 || ops[0].Queue != 0 {
+		t.Fatalf("async-without-arg queue = %+v", ops)
+	}
+}
+
+func TestSymbolicAsyncQueue(t *testing.T) {
+	src := "#pragma acc kernels async(q + 1)\nfor(;;);\n"
+	f, err := Parse("s.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := Lower(f)
+	if ops[0].Queue != SymbolicQueue || ops[0].QueueExpr != "q+1" {
+		t.Fatalf("symbolic queue = %+v", ops[0])
+	}
+	if !strings.Contains(ops[0].String(), "async(q+1)") {
+		t.Fatalf("op string = %q", ops[0])
+	}
+}
+
+func TestOpStringFlags(t *testing.T) {
+	src := "#pragma acc mpi sendbuf(device, readonly) async(2)\nMPI_Isend(b, 1, MPI_INT, 0, 0, c, &r);\n"
+	f, err := Parse("f.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := Lower(f)
+	s := ops[0].String()
+	for _, want := range []string{"mpi_unified", "MPI_Isend", "async(2)", "sendbuf:device", "sendbuf:readonly"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("op string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFindGlobals(t *testing.T) {
+	src := `
+#include <stdio.h>
+int counter = 0;
+static double table[100];
+const int limit = 5;
+extern int shared_elsewhere;
+typedef int myint;
+double scale(double x) {
+    static int calls = 0;
+    int local = 3;
+    calls++;
+    return x * local;
+}
+MPI_Request req;
+`
+	globals := findGlobals(src)
+	names := map[string]bool{}
+	for _, g := range globals {
+		names[g.Name] = true
+	}
+	for _, want := range []string{"counter", "table", "limit", "calls", "req"} {
+		if !names[want] {
+			t.Errorf("missing global %q (got %v)", want, globals)
+		}
+	}
+	for _, no := range []string{"shared_elsewhere", "myint", "local", "x"} {
+		if names[no] {
+			t.Errorf("false positive %q", no)
+		}
+	}
+}
+
+func TestRewriteThreadLocal(t *testing.T) {
+	src := "int counter = 0;\nstatic double cache[10];\nvoid f(void) {\n    static long hits;\n    hits++;\n}\n"
+	out, globals := RewriteThreadLocal(src)
+	if len(globals) != 3 {
+		t.Fatalf("globals = %v", globals)
+	}
+	for _, want := range []string{
+		"__thread int counter = 0;",
+		"static __thread double cache[10];",
+		"static __thread long hits;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rewritten source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	src := "int a; // trailing\n/* block\nspanning */ int b;\nchar *s = \"// not a comment\";\n"
+	out := stripComments(src)
+	if strings.Contains(out, "trailing") || strings.Contains(out, "spanning") {
+		t.Fatalf("comments survived: %q", out)
+	}
+	if !strings.Contains(out, "// not a comment") {
+		t.Fatalf("string literal mangled: %q", out)
+	}
+	if len(strings.Split(out, "\n")) != len(strings.Split(src, "\n")) {
+		t.Fatal("line structure changed")
+	}
+}
+
+func TestParseCallAssignmentForm(t *testing.T) {
+	src := "#pragma acc mpi sendbuf(device)\nerr = MPI_Send(buf, n, MPI_DOUBLE, 1, 0, comm);\n"
+	f, err := Parse("a.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Directives[0].MPICall.Name != "MPI_Send" {
+		t.Fatalf("call = %v", f.Directives[0].MPICall)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Parse("l.c", "#pragma acc kernels async(`)\n"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+	if _, err := Parse("l.c", "#pragma acc mpi sendbuf(device\nMPI_Send(b, 1, MPI_INT, 0, 0, c);\n"); err == nil {
+		t.Fatal("unterminated clause accepted")
+	}
+}
+
+// Property: any directive assembled from legal clauses parses and lowers
+// without error.
+func TestLegalDirectivesAlwaysParseProperty(t *testing.T) {
+	clausePool := []string{"copyin(a[0:n])", "create(b)", "async(1)", "if(cond)"}
+	f := func(pick uint8) bool {
+		var sb strings.Builder
+		sb.WriteString("#pragma acc enter data copyin(base[0:10])")
+		for i := 0; i < int(pick%4); i++ {
+			sb.WriteString(" " + clausePool[(int(pick)+i)%len(clausePool)])
+		}
+		sb.WriteString("\n")
+		file, err := Parse("p.c", sb.String())
+		if err != nil {
+			return false
+		}
+		_, err = Lower(file)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuredDataRegion(t *testing.T) {
+	src := `
+#pragma acc data copyin(a[0:n]) create(tmp[0:n]) copyout(b[0:n])
+{
+    #pragma acc kernels loop
+    for (i = 0; i < n; i++) b[i] = a[i] + tmp[i];
+}
+x = 1;
+`
+	f, err := Parse("r.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Directives[0]
+	if d.Kind != DirData {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	if d.EndLine != 6 {
+		t.Fatalf("region end = %d, want 6", d.EndLine)
+	}
+	ops, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: copyin(a), create(tmp) at line 2; launch at 4; then at the
+	// closing brace copyout(b) and delete(a).
+	var kinds []OpKind
+	for _, op := range ops {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []OpKind{OpDataCopyin, OpDataCreate, OpLaunch, OpDataCopyout, OpDataDelete, OpDataDelete}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v (all: %v)", i, kinds[i], want[i], ops)
+		}
+	}
+	last := ops[len(ops)-1]
+	if last.Line != 6 {
+		t.Fatalf("region-end op at line %d, want 6", last.Line)
+	}
+}
+
+func TestUndelimitedDataRegion(t *testing.T) {
+	// A data construct followed by a plain statement cannot be delimited:
+	// no region-end ops are emitted.
+	src := "#pragma acc data copyin(a[0:n])\nb = a;\n"
+	f, err := Parse("u.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Directives[0].EndLine != 0 {
+		t.Fatalf("end line = %d, want 0", f.Directives[0].EndLine)
+	}
+	ops, _ := Lower(f)
+	if len(ops) != 1 || ops[0].Kind != OpDataCopyin {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestFullSampleFile(t *testing.T) {
+	// The shipped demo source must keep parsing: it locks in the compiler
+	// front-end's behaviour over a realistic file.
+	src, err := readTestdata("fig4c.c")
+	if err != nil {
+		t.Skip("testdata not present:", err)
+	}
+	f, err := Parse("fig4c.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Directives) != 7 || len(f.MPIDirectives()) != 2 {
+		t.Fatalf("directives = %d, mpi = %d", len(f.Directives), len(f.MPIDirectives()))
+	}
+	names := map[string]bool{}
+	for _, g := range f.Globals {
+		names[g.Name] = true
+	}
+	for _, want := range []string{"n", "norm", "buf0", "buf1", "calls"} {
+		if !names[want] {
+			t.Errorf("missing global %q", want)
+		}
+	}
+	ops, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 8 {
+		t.Fatalf("plan ops = %d (%v)", len(ops), ops)
+	}
+	out, globals := RewriteThreadLocal(src)
+	if len(globals) != 5 {
+		t.Fatalf("rewrites = %d", len(globals))
+	}
+	for _, want := range []string{"__thread int n", "static __thread double norm", "static __thread long calls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rewritten source missing %q", want)
+		}
+	}
+}
+
+// readTestdata loads a file from the repository's testdata directory.
+func readTestdata(name string) (string, error) {
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	return string(b), err
+}
+
+func TestWaitAsyncDirective(t *testing.T) {
+	src := "#pragma acc wait(1) async(2)\n#pragma acc wait(3)\n"
+	f, err := Parse("w.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := Lower(f)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %v", ops)
+	}
+	if ops[0].Kind != OpWaitQueue || ops[0].Queue != 2 || ops[0].Args[0] != "1" {
+		t.Fatalf("cross-queue wait = %+v", ops[0])
+	}
+	if ops[1].Queue != SyncQueue {
+		t.Fatalf("host wait = %+v", ops[1])
+	}
+}
+
+func TestJacobiSampleFile(t *testing.T) {
+	src, err := readTestdata("jacobi.c")
+	if err != nil {
+		t.Skip("testdata not present:", err)
+	}
+	f, err := Parse("jacobi.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []OpKind
+	for _, op := range ops {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []OpKind{OpDataCopyin, OpDataCreate, OpMPIUnified, OpMPIUnified,
+		OpLaunch, OpWaitQueue, OpUpdateHost, OpWaitAll, OpDataDelete, OpDataDelete}
+	if len(kinds) != len(want) {
+		t.Fatalf("plan = %v", ops)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// The cross-queue wait carries its dependency queue.
+	if ops[5].Queue != 2 || ops[5].Args[0] != "1" {
+		t.Fatalf("cross-queue wait = %+v", ops[5])
+	}
+	// Globals: grid, next, rank, size.
+	if len(f.Globals) != 4 {
+		t.Fatalf("globals = %v", f.Globals)
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for _, k := range []TokenKind{TokIdent, TokNumber, TokLParen, TokRParen,
+		TokComma, TokColon, TokStar, TokPlus, TokMinus, TokSlash,
+		TokLBracket, TokRBracket, TokDot, TokArrow, TokAmp, TokPipe,
+		TokString, TokEOF} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestLexStringsAndArrows(t *testing.T) {
+	toks, err := lex(`if(x->y . z & w | "a,b(c")`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{TokIdent, TokLParen, TokIdent, TokArrow, TokIdent,
+		TokDot, TokIdent, TokAmp, TokIdent, TokPipe, TokString, TokRParen, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if _, err := lex(`"unterminated`, 1); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+}
+
+func TestDirKindStrings(t *testing.T) {
+	names := map[DirKind]string{
+		DirParallel: "parallel", DirKernels: "kernels", DirData: "data",
+		DirEnterData: "enter data", DirExitData: "exit data",
+		DirUpdate: "update", DirWait: "wait", DirLoop: "loop", DirMPI: "mpi",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

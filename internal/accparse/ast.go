@@ -1,0 +1,137 @@
+package accparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DirKind identifies an OpenACC (or IMPACC-extension) directive.
+type DirKind int
+
+// Directive kinds.
+const (
+	DirParallel DirKind = iota
+	DirKernels
+	DirData      // structured data region
+	DirEnterData //
+	DirExitData
+	DirUpdate
+	DirWait
+	DirLoop
+	DirMPI // the IMPACC "#pragma acc mpi" extension (§3.5)
+)
+
+func (k DirKind) String() string {
+	switch k {
+	case DirParallel:
+		return "parallel"
+	case DirKernels:
+		return "kernels"
+	case DirData:
+		return "data"
+	case DirEnterData:
+		return "enter data"
+	case DirExitData:
+		return "exit data"
+	case DirUpdate:
+		return "update"
+	case DirWait:
+		return "wait"
+	case DirLoop:
+		return "loop"
+	default:
+		return "mpi"
+	}
+}
+
+// Clause is one directive clause with raw argument expressions. For data
+// clauses each arg is a variable or array-section expression
+// ("buf[0:n]"); for sendbuf/recvbuf the args are the device/readonly
+// attribute flags.
+type Clause struct {
+	Name string
+	Args []string
+	Line int
+}
+
+func (c Clause) String() string {
+	if len(c.Args) == 0 {
+		return c.Name
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(c.Args, ", "))
+}
+
+// Has reports whether an argument flag is present (case-sensitive).
+func (c Clause) Has(flag string) bool {
+	for _, a := range c.Args {
+		if a == flag {
+			return true
+		}
+	}
+	return false
+}
+
+// Directive is a parsed "#pragma acc ..." line.
+type Directive struct {
+	Kind    DirKind
+	Clauses []Clause
+	Line    int
+	// Stmt is the source statement the directive applies to: the MPI
+	// call after an mpi directive, or the loop/compound statement after a
+	// compute construct (first line only).
+	Stmt string
+	// EndLine is the closing line of a structured data region's block
+	// (0 when the region could not be delimited).
+	EndLine int
+	// MPICall is the parsed call following an mpi directive.
+	MPICall *CallExpr
+}
+
+// Clause returns the first clause with the given name.
+func (d *Directive) Clause(name string) (Clause, bool) {
+	for _, c := range d.Clauses {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Clause{}, false
+}
+
+// CallExpr is a parsed C function call (the MPI call an IMPACC directive
+// annotates).
+type CallExpr struct {
+	Name string
+	Args []string
+	Line int
+}
+
+func (c *CallExpr) String() string {
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(c.Args, ", "))
+}
+
+// GlobalVar is a file-scope or static variable that the IMPACC compiler
+// must rewrite to be thread-local (paper §3.1).
+type GlobalVar struct {
+	Name   string
+	Decl   string
+	Line   int
+	Static bool // declared static inside a function
+}
+
+// File is the parse result for one translation unit.
+type File struct {
+	Name       string
+	Directives []*Directive
+	Globals    []GlobalVar
+}
+
+// MPIDirectives filters the IMPACC extension directives.
+func (f *File) MPIDirectives() []*Directive {
+	var out []*Directive
+	for _, d := range f.Directives {
+		if d.Kind == DirMPI {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package accparse is the front-end of the IMPACC source-to-source
+// compiler (paper §3.1): it scans C-like source for OpenACC directives —
+// including the paper's new "#pragma acc mpi" extension (§3.5) — parses
+// them into an AST, validates clause legality, lowers compute and data
+// constructs into runtime-call plans, and performs the global-to-
+// thread-local variable analysis required to run MPI tasks as threads
+// ("The compiler translates all global and static variables in the host
+// program source code to thread-local variables").
+package accparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies directive tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokIdent TokenKind = iota
+	TokNumber
+	TokLParen
+	TokRParen
+	TokComma
+	TokColon
+	TokStar
+	TokPlus
+	TokMinus
+	TokSlash
+	TokLBracket
+	TokRBracket
+	TokDot
+	TokArrow
+	TokAmp
+	TokPipe
+	TokString
+	TokEOF
+)
+
+func (k TokenKind) String() string {
+	names := map[TokenKind]string{
+		TokIdent: "identifier", TokNumber: "number", TokLParen: "'('",
+		TokRParen: "')'", TokComma: "','", TokColon: "':'", TokStar: "'*'",
+		TokPlus: "'+'", TokMinus: "'-'", TokSlash: "'/'",
+		TokLBracket: "'['", TokRBracket: "']'", TokDot: "'.'",
+		TokArrow: "'->'", TokAmp: "'&'", TokPipe: "'|'",
+		TokString: "string", TokEOF: "end of directive",
+	}
+	return names[k]
+}
+
+// Token is one lexeme of a directive line.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Col  int
+}
+
+// LexError reports a tokenization failure.
+type LexError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lex tokenizes one logical directive line (after joining continuations).
+func lex(s string, lineNo int) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{TokIdent, s[i:j], i})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == 'x' || s[j] == 'X' ||
+				('a' <= s[j] && s[j] <= 'f') || ('A' <= s[j] && s[j] <= 'F') || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, Token{TokNumber, s[i:j], i})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, &LexError{lineNo, i, "unterminated string"}
+			}
+			toks = append(toks, Token{TokString, s[i : j+1], i})
+			i = j + 1
+		default:
+			kind := TokenKind(-1)
+			text := string(c)
+			switch c {
+			case '(':
+				kind = TokLParen
+			case ')':
+				kind = TokRParen
+			case ',':
+				kind = TokComma
+			case ':':
+				kind = TokColon
+			case '*':
+				kind = TokStar
+			case '+':
+				kind = TokPlus
+			case '-':
+				if i+1 < len(s) && s[i+1] == '>' {
+					kind, text = TokArrow, "->"
+					i++
+				} else {
+					kind = TokMinus
+				}
+			case '/':
+				kind = TokSlash
+			case '[':
+				kind = TokLBracket
+			case ']':
+				kind = TokRBracket
+			case '.':
+				kind = TokDot
+			case '&':
+				kind = TokAmp
+			case '|':
+				kind = TokPipe
+			}
+			if kind < 0 {
+				return nil, &LexError{lineNo, i, fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, Token{kind, text, i})
+			i++
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", len(s)})
+	return toks, nil
+}
+
+// joinContinuations merges backslash-continued physical lines into logical
+// lines, returning each with its starting line number (1-based).
+func joinContinuations(src string) []struct {
+	Text string
+	Line int
+} {
+	raw := strings.Split(src, "\n")
+	var out []struct {
+		Text string
+		Line int
+	}
+	for i := 0; i < len(raw); i++ {
+		start := i
+		line := raw[i]
+		for strings.HasSuffix(strings.TrimRight(line, " \t"), "\\") && i+1 < len(raw) {
+			line = strings.TrimRight(strings.TrimRight(line, " \t"), "\\") + " " + raw[i+1]
+			i++
+		}
+		out = append(out, struct {
+			Text string
+			Line int
+		}{line, start + 1})
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package accparse
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpKind is a lowered runtime operation.
+type OpKind int
+
+// Lowered operation kinds, mapping 1:1 onto the acc/core runtime entry
+// points the generated host program would call.
+const (
+	OpDataCopyin OpKind = iota
+	OpDataCreate
+	OpDataPresent
+	OpDataCopyout
+	OpDataDelete
+	OpUpdateDevice
+	OpUpdateHost
+	OpLaunch
+	OpWaitQueue
+	OpWaitAll
+	OpMPIUnified
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpDataCopyin:
+		return "data_copyin"
+	case OpDataCreate:
+		return "data_create"
+	case OpDataPresent:
+		return "data_present"
+	case OpDataCopyout:
+		return "data_copyout"
+	case OpDataDelete:
+		return "data_delete"
+	case OpUpdateDevice:
+		return "update_device"
+	case OpUpdateHost:
+		return "update_host"
+	case OpLaunch:
+		return "launch"
+	case OpWaitQueue:
+		return "wait_queue"
+	case OpWaitAll:
+		return "wait_all"
+	default:
+		return "mpi_unified"
+	}
+}
+
+// SyncQueue marks a synchronous operation; SymbolicQueue an async clause
+// whose queue is a runtime expression.
+const (
+	SyncQueue     = -1
+	SymbolicQueue = -2
+)
+
+// Op is one lowered runtime call.
+type Op struct {
+	Kind OpKind
+	// Args are the data expressions the op touches (array sections etc.).
+	Args []string
+	// Queue is the async queue: SyncQueue, a literal number, or
+	// SymbolicQueue with the expression in QueueExpr.
+	Queue     int
+	QueueExpr string
+	// Kernel labels launches ("kernels@line12"); geometry clauses ride in
+	// Args.
+	Kernel string
+	// Call is the annotated MPI call for OpMPIUnified.
+	Call *CallExpr
+	// SendDevice/SendReadOnly/RecvDevice/RecvReadOnly carry the IMPACC
+	// directive attributes.
+	SendDevice, SendReadOnly bool
+	RecvDevice, RecvReadOnly bool
+	Line                     int
+}
+
+func (o Op) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s", o.Kind)
+	if o.Kernel != "" {
+		fmt.Fprintf(&sb, " %s", o.Kernel)
+	}
+	if o.Call != nil {
+		fmt.Fprintf(&sb, " %s", o.Call)
+	}
+	if len(o.Args) > 0 {
+		fmt.Fprintf(&sb, " (%s)", strings.Join(o.Args, ", "))
+	}
+	switch {
+	case o.Queue == SymbolicQueue:
+		fmt.Fprintf(&sb, " async(%s)", o.QueueExpr)
+	case o.Queue >= 0:
+		fmt.Fprintf(&sb, " async(%d)", o.Queue)
+	}
+	var flags []string
+	if o.SendDevice {
+		flags = append(flags, "sendbuf:device")
+	}
+	if o.SendReadOnly {
+		flags = append(flags, "sendbuf:readonly")
+	}
+	if o.RecvDevice {
+		flags = append(flags, "recvbuf:device")
+	}
+	if o.RecvReadOnly {
+		flags = append(flags, "recvbuf:readonly")
+	}
+	if len(flags) > 0 {
+		fmt.Fprintf(&sb, " [%s]", strings.Join(flags, " "))
+	}
+	return sb.String()
+}
+
+// queueOf extracts the async queue from a directive.
+func queueOf(d *Directive) (int, string) {
+	c, ok := d.Clause("async")
+	if !ok {
+		return SyncQueue, ""
+	}
+	if len(c.Args) == 0 {
+		return 0, "" // async with no argument uses the default queue
+	}
+	if n, err := strconv.Atoi(c.Args[0]); err == nil {
+		return n, ""
+	}
+	return SymbolicQueue, c.Args[0]
+}
+
+// Lower translates the parsed directives into the runtime-call plan the
+// generated host program performs, in source order.
+func Lower(f *File) ([]Op, error) {
+	var ops []Op
+	for _, d := range f.Directives {
+		q, qe := queueOf(d)
+		emitData := func(kind OpKind, clause string) {
+			if c, ok := d.Clause(clause); ok {
+				ops = append(ops, Op{Kind: kind, Args: c.Args, Queue: q, QueueExpr: qe, Line: d.Line})
+			}
+		}
+		switch d.Kind {
+		case DirParallel, DirKernels:
+			emitData(OpDataCopyin, "copyin")
+			emitData(OpDataCopyin, "copy")
+			emitData(OpDataCreate, "create")
+			emitData(OpDataPresent, "present")
+			launch := Op{
+				Kind:   OpLaunch,
+				Kernel: fmt.Sprintf("%s@line%d", strings.ReplaceAll(d.Kind.String(), " ", ""), d.Line),
+				Queue:  q, QueueExpr: qe, Line: d.Line,
+			}
+			for _, g := range []string{"num_gangs", "num_workers", "vector_length", "gang", "worker", "vector", "collapse"} {
+				if c, ok := d.Clause(g); ok {
+					launch.Args = append(launch.Args, c.String())
+				}
+			}
+			ops = append(ops, launch)
+			// Region-end copies (implicit barrier of the construct).
+			emitData(OpDataCopyout, "copyout")
+			emitData(OpDataCopyout, "copy")
+		case DirEnterData:
+			emitData(OpDataCopyin, "copyin")
+			emitData(OpDataCopyin, "copy")
+			emitData(OpDataCreate, "create")
+			emitData(OpDataPresent, "present")
+		case DirData:
+			emitData(OpDataCopyin, "copyin")
+			emitData(OpDataCopyin, "copy")
+			emitData(OpDataCreate, "create")
+			emitData(OpDataPresent, "present")
+			// Structured region: releases happen at the closing brace.
+			if d.EndLine > 0 {
+				end := func(kind OpKind, clause string) {
+					if c, ok := d.Clause(clause); ok {
+						ops = append(ops, Op{Kind: kind, Args: c.Args,
+							Queue: SyncQueue, Line: d.EndLine})
+					}
+				}
+				end(OpDataCopyout, "copyout")
+				end(OpDataCopyout, "copy")
+				end(OpDataDelete, "copyin")
+				end(OpDataDelete, "create")
+				end(OpDataDelete, "present")
+			}
+		case DirExitData:
+			emitData(OpDataCopyout, "copyout")
+			emitData(OpDataDelete, "delete")
+		case DirUpdate:
+			emitData(OpUpdateDevice, "device")
+			emitData(OpUpdateHost, "self")
+			emitData(OpUpdateHost, "host")
+		case DirWait:
+			// "wait(q)" blocks the host; "wait(q) async(r)" is a
+			// device-side cross-queue dependency (queue r waits for q).
+			if c, ok := d.Clause("wait"); ok && len(c.Args) > 0 {
+				ops = append(ops, Op{Kind: OpWaitQueue, Args: c.Args, Queue: q, QueueExpr: qe, Line: d.Line})
+			} else {
+				ops = append(ops, Op{Kind: OpWaitAll, Queue: q, QueueExpr: qe, Line: d.Line})
+			}
+		case DirLoop:
+			// Loop directives refine an enclosing compute construct; they
+			// lower to nothing on their own.
+		case DirMPI:
+			op := Op{Kind: OpMPIUnified, Call: d.MPICall, Queue: q, QueueExpr: qe, Line: d.Line}
+			if c, ok := d.Clause("sendbuf"); ok {
+				op.SendDevice = c.Has("device")
+				op.SendReadOnly = c.Has("readonly")
+			}
+			if c, ok := d.Clause("recvbuf"); ok {
+				op.RecvDevice = c.Has("device")
+				op.RecvReadOnly = c.Has("readonly")
+			}
+			if _, ok := d.Clause("async"); !ok {
+				op.Queue = SyncQueue
+			}
+			ops = append(ops, op)
+		}
+	}
+	// Region-end ops land at their closing lines: restore source order.
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Line < ops[j].Line })
+	return ops, nil
+}

@@ -1,0 +1,318 @@
+package accparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a directive syntax or validation failure.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Parse scans source for OpenACC directives (including the IMPACC mpi
+// extension), parses and validates them, and collects the global variables
+// requiring thread-local rewriting.
+func Parse(name, src string) (*File, error) {
+	f := &File{Name: name}
+	lines := joinContinuations(src)
+	for i := 0; i < len(lines); i++ {
+		text := strings.TrimSpace(lines[i].Text)
+		if !strings.HasPrefix(text, "#pragma") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(text, "#pragma"))
+		if !strings.HasPrefix(rest, "acc") {
+			continue // other pragma families are passed through
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(rest, "acc"))
+		d, err := parseDirective(name, body, lines[i].Line)
+		if err != nil {
+			return nil, err
+		}
+		// Attach the following statement (for compute and mpi directives).
+		for j := i + 1; j < len(lines); j++ {
+			stmt := strings.TrimSpace(lines[j].Text)
+			if stmt == "" {
+				continue
+			}
+			d.Stmt = stmt
+			if d.Kind == DirMPI {
+				call, err := parseCall(name, stmt, lines[j].Line)
+				if err != nil {
+					return nil, err
+				}
+				d.MPICall = call
+			}
+			break
+		}
+		if err := validate(name, d); err != nil {
+			return nil, err
+		}
+		if d.Kind == DirData {
+			d.EndLine = regionEnd(lines, i+1)
+		}
+		f.Directives = append(f.Directives, d)
+	}
+	f.Globals = findGlobals(src)
+	return f, nil
+}
+
+// directive name table, longest match first for two-word forms.
+var dirNames = []struct {
+	words []string
+	kind  DirKind
+}{
+	{[]string{"enter", "data"}, DirEnterData},
+	{[]string{"exit", "data"}, DirExitData},
+	{[]string{"parallel"}, DirParallel},
+	{[]string{"kernels"}, DirKernels},
+	{[]string{"data"}, DirData},
+	{[]string{"update"}, DirUpdate},
+	{[]string{"wait"}, DirWait},
+	{[]string{"loop"}, DirLoop},
+	{[]string{"mpi"}, DirMPI},
+}
+
+func parseDirective(file, body string, line int) (*Directive, error) {
+	toks, err := lex(body, line)
+	if err != nil {
+		return nil, &ParseError{file, line, err.Error()}
+	}
+	p := &tokParser{file: file, line: line, toks: toks}
+	var kind DirKind = -1
+	for _, dn := range dirNames {
+		if p.peekIdents(dn.words) {
+			for range dn.words {
+				p.next()
+			}
+			kind = dn.kind
+			break
+		}
+	}
+	if kind < 0 {
+		return nil, &ParseError{file, line, fmt.Sprintf("unknown acc directive %q", body)}
+	}
+	d := &Directive{Kind: kind, Line: line}
+	// "parallel loop" / "kernels loop" combined forms swallow the loop word.
+	if (kind == DirParallel || kind == DirKernels) && p.peekIdents([]string{"loop"}) {
+		p.next()
+	}
+	// wait may take an immediate (queue) argument list.
+	if kind == DirWait && p.peek().Kind == TokLParen {
+		args, err := p.parenArgs()
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses = append(d.Clauses, Clause{Name: "wait", Args: args, Line: line})
+	}
+	for p.peek().Kind != TokEOF {
+		c, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		c.Line = line
+		d.Clauses = append(d.Clauses, c)
+	}
+	return d, nil
+}
+
+type tokParser struct {
+	file string
+	line int
+	toks []Token
+	pos  int
+}
+
+func (p *tokParser) peek() Token { return p.toks[p.pos] }
+func (p *tokParser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *tokParser) peekIdents(words []string) bool {
+	for i, w := range words {
+		if p.pos+i >= len(p.toks) {
+			return false
+		}
+		t := p.toks[p.pos+i]
+		if t.Kind != TokIdent || t.Text != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *tokParser) errf(format string, args ...interface{}) error {
+	return &ParseError{p.file, p.line, fmt.Sprintf(format, args...)}
+}
+
+// clause parses "name" or "name(arg, arg, ...)". Argument expressions keep
+// their raw text, with nested parentheses/brackets balanced.
+func (p *tokParser) clause() (Clause, error) {
+	t := p.next()
+	if t.Kind == TokComma {
+		t = p.next() // clause lists may be comma-separated
+	}
+	if t.Kind != TokIdent {
+		return Clause{}, p.errf("expected clause name, got %v %q", t.Kind, t.Text)
+	}
+	c := Clause{Name: t.Text}
+	if p.peek().Kind == TokLParen {
+		args, err := p.parenArgs()
+		if err != nil {
+			return Clause{}, err
+		}
+		c.Args = args
+	}
+	return c, nil
+}
+
+// parenArgs consumes "( expr, expr, ... )" returning raw expressions.
+func (p *tokParser) parenArgs() ([]string, error) {
+	if t := p.next(); t.Kind != TokLParen {
+		return nil, p.errf("expected '(', got %q", t.Text)
+	}
+	var args []string
+	var cur []string
+	depth := 0
+	for {
+		t := p.next()
+		switch t.Kind {
+		case TokEOF:
+			return nil, p.errf("unterminated clause argument list")
+		case TokLParen, TokLBracket:
+			depth++
+			cur = append(cur, t.Text)
+		case TokRBracket:
+			depth--
+			cur = append(cur, t.Text)
+		case TokRParen:
+			if depth == 0 {
+				if len(cur) > 0 {
+					args = append(args, joinExpr(cur))
+				}
+				return args, nil
+			}
+			depth--
+			cur = append(cur, t.Text)
+		case TokComma:
+			if depth == 0 {
+				if len(cur) == 0 {
+					return nil, p.errf("empty clause argument")
+				}
+				args = append(args, joinExpr(cur))
+				cur = nil
+			} else {
+				cur = append(cur, t.Text)
+			}
+		default:
+			cur = append(cur, t.Text)
+		}
+	}
+}
+
+// joinExpr reassembles expression tokens with minimal spacing.
+func joinExpr(parts []string) string {
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 && wordy(parts[i-1]) && wordy(p) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+func wordy(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// parseCall parses a C call statement like
+// "MPI_Isend(buf0, n, MPI_DOUBLE, dst, tag, comm, &req);".
+func parseCall(file, stmt string, line int) (*CallExpr, error) {
+	open := strings.Index(stmt, "(")
+	if open < 0 {
+		return nil, &ParseError{file, line,
+			fmt.Sprintf("'#pragma acc mpi' must immediately precede an MPI call, got %q", stmt)}
+	}
+	name := strings.TrimSpace(stmt[:open])
+	// Allow "err = MPI_Send(...)" forms.
+	if eq := strings.LastIndex(name, "="); eq >= 0 {
+		name = strings.TrimSpace(name[eq+1:])
+	}
+	// Truncate at the balanced closing paren (drop "; // ..." tails).
+	depth := 0
+	end := -1
+	for i := open; i < len(stmt); i++ {
+		switch stmt[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				end = i
+			}
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, &ParseError{file, line, fmt.Sprintf("unbalanced call %q", stmt)}
+	}
+	toks, err := lex(stmt[open:end+1], line)
+	if err != nil {
+		return nil, &ParseError{file, line, err.Error()}
+	}
+	p := &tokParser{file: file, line: line, toks: toks}
+	args, err := p.parenArgs()
+	if err != nil {
+		return nil, err
+	}
+	return &CallExpr{Name: name, Args: args, Line: line}, nil
+}
+
+// regionEnd finds the closing line of the brace block following a
+// structured data directive, returning 0 if none is found.
+func regionEnd(lines []struct {
+	Text string
+	Line int
+}, from int) int {
+	depth := 0
+	opened := false
+	for i := from; i < len(lines); i++ {
+		for _, ch := range lines[i].Text {
+			switch ch {
+			case '{':
+				depth++
+				opened = true
+			case '}':
+				depth--
+				if opened && depth == 0 {
+					return lines[i].Line
+				}
+			}
+		}
+		if !opened && strings.TrimSpace(lines[i].Text) != "" &&
+			!strings.HasPrefix(strings.TrimSpace(lines[i].Text), "{") {
+			// A data construct must be followed by a block; a plain
+			// statement means we cannot delimit the region.
+			return 0
+		}
+	}
+	return 0
+}

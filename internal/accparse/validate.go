@@ -1,0 +1,158 @@
+package accparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// legalClauses maps each directive kind to its accepted clause names.
+var legalClauses = map[DirKind]map[string]bool{
+	DirParallel: {
+		"copy": true, "copyin": true, "copyout": true, "create": true,
+		"present": true, "async": true, "wait": true, "num_gangs": true,
+		"num_workers": true, "vector_length": true, "private": true,
+		"firstprivate": true, "reduction": true, "gang": true, "worker": true,
+		"vector": true, "collapse": true, "if": true, "deviceptr": true,
+	},
+	DirKernels: {
+		"copy": true, "copyin": true, "copyout": true, "create": true,
+		"present": true, "async": true, "wait": true, "if": true,
+		"gang": true, "worker": true, "vector": true, "collapse": true,
+		"independent": true, "deviceptr": true,
+	},
+	DirData: {
+		"copy": true, "copyin": true, "copyout": true, "create": true,
+		"present": true, "deviceptr": true, "if": true,
+	},
+	DirEnterData: {"copyin": true, "create": true, "async": true, "wait": true, "if": true},
+	DirExitData:  {"copyout": true, "delete": true, "async": true, "wait": true, "if": true},
+	DirUpdate:    {"device": true, "self": true, "host": true, "async": true, "wait": true, "if": true},
+	DirWait:      {"wait": true, "async": true},
+	DirLoop: {
+		"gang": true, "worker": true, "vector": true, "collapse": true,
+		"independent": true, "private": true, "reduction": true, "seq": true,
+	},
+	// The IMPACC directive (§3.5): sendbuf([device][,][readonly]),
+	// recvbuf([device][,][readonly]), async[(int-expr)].
+	DirMPI: {"sendbuf": true, "recvbuf": true, "async": true},
+}
+
+// mpiBufFlags are the only attributes sendbuf/recvbuf accept.
+var mpiBufFlags = map[string]bool{"device": true, "readonly": true}
+
+// validate checks a parsed directive for clause legality and the IMPACC
+// extension's structural rules.
+func validate(file string, d *Directive) error {
+	legal := legalClauses[d.Kind]
+	for _, c := range d.Clauses {
+		if !legal[c.Name] {
+			return &ParseError{file, d.Line,
+				fmt.Sprintf("clause %q is not valid on '#pragma acc %s'", c.Name, d.Kind)}
+		}
+		if c.Name == "async" && len(c.Args) > 1 {
+			return &ParseError{file, d.Line, "async takes at most one queue expression"}
+		}
+	}
+	switch d.Kind {
+	case DirMPI:
+		return validateMPI(file, d)
+	case DirData, DirEnterData:
+		if !hasAnyClause(d, "copy", "copyin", "copyout", "create", "present", "deviceptr") {
+			return &ParseError{file, d.Line, "data construct requires at least one data clause"}
+		}
+	case DirExitData:
+		if !hasAnyClause(d, "copyout", "delete") {
+			return &ParseError{file, d.Line, "exit data requires copyout or delete"}
+		}
+	case DirUpdate:
+		if !hasAnyClause(d, "device", "self", "host") {
+			return &ParseError{file, d.Line, "update requires device, self, or host"}
+		}
+	}
+	return nil
+}
+
+func hasAnyClause(d *Directive, names ...string) bool {
+	for _, n := range names {
+		if _, ok := d.Clause(n); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// validateMPI enforces the §3.5 rules: the directive must annotate an
+// immediately following MPI call; buffer attributes must be device/readonly;
+// an async clause requires a non-blocking call ("When there is an async
+// clause, the following non-blocking MPI call, such as MPI_Isend() and
+// MPI_Irecv(), will be queued into an OpenACC asynchronous activity
+// queue").
+func validateMPI(file string, d *Directive) error {
+	if d.MPICall == nil || !strings.HasPrefix(d.MPICall.Name, "MPI_") {
+		got := ""
+		if d.MPICall != nil {
+			got = d.MPICall.Name
+		}
+		return &ParseError{file, d.Line,
+			fmt.Sprintf("'#pragma acc mpi' must immediately precede an MPI call (got %q)", got)}
+	}
+	for _, c := range d.Clauses {
+		if c.Name == "sendbuf" || c.Name == "recvbuf" {
+			if len(c.Args) == 0 {
+				return &ParseError{file, d.Line, c.Name + " requires at least one attribute"}
+			}
+			for _, a := range c.Args {
+				if !mpiBufFlags[a] {
+					return &ParseError{file, d.Line,
+						fmt.Sprintf("invalid %s attribute %q (want device and/or readonly)", c.Name, a)}
+				}
+			}
+		}
+	}
+	if _, ok := d.Clause("async"); ok && !isNonBlockingMPI(d.MPICall.Name) {
+		return &ParseError{file, d.Line,
+			fmt.Sprintf("async requires a non-blocking MPI call, got %s", d.MPICall.Name)}
+	}
+	// The directive must be meaningful for the call's direction.
+	if _, ok := d.Clause("sendbuf"); ok && !mpiHasSendBuf(d.MPICall.Name) {
+		return &ParseError{file, d.Line,
+			fmt.Sprintf("sendbuf clause on %s, which has no send buffer", d.MPICall.Name)}
+	}
+	if _, ok := d.Clause("recvbuf"); ok && !mpiHasRecvBuf(d.MPICall.Name) {
+		return &ParseError{file, d.Line,
+			fmt.Sprintf("recvbuf clause on %s, which has no receive buffer", d.MPICall.Name)}
+	}
+	return nil
+}
+
+func isNonBlockingMPI(name string) bool {
+	switch name {
+	case "MPI_Isend", "MPI_Irecv", "MPI_Issend", "MPI_Ibsend", "MPI_Irsend",
+		"MPI_Ibcast", "MPI_Ireduce", "MPI_Iallreduce", "MPI_Igather", "MPI_Iscatter":
+		return true
+	}
+	return false
+}
+
+func mpiHasSendBuf(name string) bool {
+	switch name {
+	case "MPI_Send", "MPI_Isend", "MPI_Ssend", "MPI_Issend", "MPI_Bsend",
+		"MPI_Rsend", "MPI_Sendrecv", "MPI_Bcast", "MPI_Ibcast",
+		"MPI_Reduce", "MPI_Allreduce", "MPI_Gather", "MPI_Scatter",
+		"MPI_Allgather", "MPI_Alltoall", "MPI_Ireduce", "MPI_Iallreduce",
+		"MPI_Igather", "MPI_Iscatter":
+		return true
+	}
+	return false
+}
+
+func mpiHasRecvBuf(name string) bool {
+	switch name {
+	case "MPI_Recv", "MPI_Irecv", "MPI_Sendrecv", "MPI_Bcast", "MPI_Ibcast",
+		"MPI_Reduce", "MPI_Allreduce", "MPI_Gather", "MPI_Scatter",
+		"MPI_Allgather", "MPI_Alltoall", "MPI_Ireduce", "MPI_Iallreduce",
+		"MPI_Igather", "MPI_Iscatter":
+		return true
+	}
+	return false
+}

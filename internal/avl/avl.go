@@ -1,0 +1,269 @@
+// Package avl implements a self-balancing (AVL) binary search tree with
+// ordered keys. The paper's present table uses "two balanced binary trees
+// indexed by the host address and device address ... to reduce the
+// worst-case search time" (§3.4, Figure 3); this package is that balanced
+// tree, also reused by the unified virtual address space's segment map.
+package avl
+
+import "cmp"
+
+// Tree is an AVL tree mapping K to V. The zero value is an empty tree.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	height      int
+}
+
+func height[K cmp.Ordered, V any](n *node[K, V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node[K, V]) fix() {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func (n *node[K, V]) balance() int { return height(n.left) - height(n.right) }
+
+func rotateRight[K cmp.Ordered, V any](y *node[K, V]) *node[K, V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.fix()
+	x.fix()
+	return x
+}
+
+func rotateLeft[K cmp.Ordered, V any](x *node[K, V]) *node[K, V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.fix()
+	y.fix()
+	return y
+}
+
+func rebalance[K cmp.Ordered, V any](n *node[K, V]) *node[K, V] {
+	n.fix()
+	b := n.balance()
+	switch {
+	case b > 1:
+		if n.left.balance() < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case b < -1:
+		if n.right.balance() > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Put inserts or replaces the value for key.
+func (t *Tree[K, V]) Put(key K, val V) {
+	t.root = t.put(t.root, key, val)
+}
+
+func (t *Tree[K, V]) put(n *node[K, V], key K, val V) *node[K, V] {
+	if n == nil {
+		t.size++
+		return &node[K, V]{key: key, val: val, height: 1}
+	}
+	switch {
+	case key < n.key:
+		n.left = t.put(n.left, key, val)
+	case key > n.key:
+		n.right = t.put(n.right, key, val)
+	default:
+		n.val = val
+		return n
+	}
+	return rebalance(n)
+}
+
+// Get returns the value stored at key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	var deleted bool
+	t.root, deleted = t.del(t.root, key)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[K, V]) del(n *node[K, V], key K) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case key < n.key:
+		n.left, deleted = t.del(n.left, key)
+	case key > n.key:
+		n.right, deleted = t.del(n.right, key)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		s := n.right
+		for s.left != nil {
+			s = s.left
+		}
+		n.key, n.val = s.key, s.val
+		n.right, _ = t.del(n.right, s.key)
+	}
+	if !deleted {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// Floor returns the entry with the greatest key <= key.
+func (t *Tree[K, V]) Floor(key K) (K, V, bool) {
+	var best *node[K, V]
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			best = n
+			n = n.right
+		default:
+			return n.key, n.val, true
+		}
+	}
+	if best == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceil returns the entry with the smallest key >= key.
+func (t *Tree[K, V]) Ceil(key K) (K, V, bool) {
+	var best *node[K, V]
+	n := t.root
+	for n != nil {
+		switch {
+		case key > n.key:
+			n = n.right
+		case key < n.key:
+			best = n
+			n = n.left
+		default:
+			return n.key, n.val, true
+		}
+	}
+	if best == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return best.key, best.val, true
+}
+
+// Min returns the smallest entry.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Ascend visits entries in increasing key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(K, V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K cmp.Ordered, V any](n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Height returns the root height (0 for empty). Exposed for balance tests.
+func (t *Tree[K, V]) Height() int { return height(t.root) }
+
+// checkInvariant verifies AVL balance and BST order, returning false on any
+// violation. Used by tests.
+func (t *Tree[K, V]) checkInvariant() bool {
+	ok := true
+	var walk func(n *node[K, V]) int
+	walk = func(n *node[K, V]) int {
+		if n == nil {
+			return 0
+		}
+		hl, hr := walk(n.left), walk(n.right)
+		h := max(hl, hr) + 1
+		if n.height != h {
+			ok = false
+		}
+		if hl-hr > 1 || hr-hl > 1 {
+			ok = false
+		}
+		if n.left != nil && !(n.left.key < n.key) {
+			ok = false
+		}
+		if n.right != nil && !(n.key < n.right.key) {
+			ok = false
+		}
+		return h
+	}
+	walk(t.root)
+	return ok
+}

@@ -1,0 +1,204 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int, string]
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree has wrong len/height")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Floor(1); ok {
+		t.Fatal("Floor on empty tree returned ok")
+	}
+	if _, _, ok := tr.Ceil(1); ok {
+		t.Fatal("Ceil on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	var tr Tree[uint64, int]
+	for i := 0; i < 100; i++ {
+		tr.Put(uint64(i*7%100), i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d, want 100", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tr.Get(uint64(i * 7 % 100))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*7%100, v, ok)
+		}
+	}
+	// Overwrite.
+	tr.Put(5, 999)
+	if v, _ := tr.Get(5); v != 999 {
+		t.Fatal("Put did not overwrite")
+	}
+	if tr.Len() != 100 {
+		t.Fatal("overwrite changed size")
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(uint64(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("len after deletes = %d, want 50", tr.Len())
+	}
+	if !tr.checkInvariant() {
+		t.Fatal("invariant violated after deletes")
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	var tr Tree[int, string]
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Put(k, "v")
+	}
+	cases := []struct {
+		q       int
+		floor   int
+		floorOK bool
+		ceil    int
+		ceilOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floor) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.q, k, ok, c.floor, c.floorOK)
+		}
+		k, _, ok = tr.Ceil(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceil) {
+			t.Errorf("Ceil(%d) = %d,%v want %d,%v", c.q, k, ok, c.ceil, c.ceilOK)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var tr Tree[int, int]
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		tr.Put(k, k*2)
+	}
+	var keys []int
+	tr.Ascend(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Ascend not in order")
+	}
+	if len(keys) != 500 {
+		t.Fatalf("visited %d keys", len(keys))
+	}
+	// Early stop.
+	count := 0
+	tr.Ascend(func(k, v int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestMin(t *testing.T) {
+	var tr Tree[int, int]
+	tr.Put(5, 0)
+	tr.Put(2, 0)
+	tr.Put(9, 0)
+	k, _, ok := tr.Min()
+	if !ok || k != 2 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	var tr Tree[int, int]
+	// Sequential insert is the worst case for naive BSTs.
+	for i := 0; i < 1<<12; i++ {
+		tr.Put(i, i)
+	}
+	// AVL height bound: 1.44*log2(n+2). For 4096, that's ~18.
+	if h := tr.Height(); h > 18 {
+		t.Fatalf("height = %d for 4096 sequential keys, not balanced", h)
+	}
+	if !tr.checkInvariant() {
+		t.Fatal("invariant violated")
+	}
+}
+
+// Property: tree behaves exactly like a map plus sorted order, under random
+// interleavings of put and delete.
+func TestTreeMatchesMapProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		var tr Tree[int16, int]
+		ref := map[int16]int{}
+		for i, k := range ops {
+			if i%3 == 2 {
+				d1 := tr.Delete(k)
+				_, d2 := ref[k]
+				delete(ref, k)
+				if d1 != d2 {
+					return false
+				}
+			} else {
+				tr.Put(k, i)
+				ref[k] = i
+			}
+			if !tr.checkInvariant() {
+				return false
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Floor agrees with a linear scan.
+		for _, q := range ops {
+			var want int16
+			found := false
+			for k := range ref {
+				if k <= q && (!found || k > want) {
+					want, found = k, true
+				}
+			}
+			k, _, ok := tr.Floor(q)
+			if ok != found || (ok && k != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

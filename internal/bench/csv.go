@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits an experiment's typed results as CSV for plotting, or
+// reports false when the experiment has no tabular form (table1, fig2).
+func WriteCSV(id string, w io.Writer, opt Options) (bool, error) {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	i := strconv.Itoa
+
+	switch id {
+	case "fig5":
+		rows, err := Fig5(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"style", "elapsed_ns", "host_captive_ns"})
+		for _, r := range rows {
+			cw.Write([]string{r.Style.String(), i(int(r.Elapsed)), i(int(r.IssueSpan))})
+		}
+	case "fig6":
+		rows, err := Fig6(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"pair", "mpix_copies", "impacc_copies", "mpix_ns", "impacc_ns"})
+		for _, r := range rows {
+			cw.Write([]string{r.Pair, i(int(r.LegacyCopies)), i(int(r.IMPACCCopies)),
+				i(int(r.LegacyTime)), i(int(r.IMPACCTime))})
+		}
+	case "fig7":
+		rows, err := Fig7(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"readonly", "aliases", "copies", "recv_ns"})
+		for _, r := range rows {
+			cw.Write([]string{fmt.Sprint(r.ReadOnly), i(int(r.Aliases)), i(int(r.Copies)), i(int(r.Elapsed))})
+		}
+	case "fig8":
+		rows, err := Fig8(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"system", "dir", "bytes", "near_gbs", "far_gbs"})
+		for _, r := range rows {
+			cw.Write([]string{r.System, r.Dir, i(int(r.Bytes)), f(r.NearGBs), f(r.FarGBs)})
+		}
+	case "fig9":
+		rows, err := Fig9(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"panel", "bytes", "impacc_gbs", "mpix_gbs"})
+		for _, r := range rows {
+			cw.Write([]string{r.Panel, i(int(r.Bytes)), f(r.IMPACCGBs), f(r.MPIXGBs)})
+		}
+	case "fig10", "fig12", "fig13", "fig15":
+		var rows []SpeedupRow
+		var err error
+		switch id {
+		case "fig10":
+			rows, err = Fig10(opt)
+		case "fig12":
+			rows, err = Fig12(opt)
+		case "fig13":
+			rows, err = Fig13(opt)
+		default:
+			rows, err = Fig15(opt)
+		}
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"panel", "param", "tasks", "impacc_speedup", "mpix_speedup"})
+		for _, r := range rows {
+			cw.Write([]string{r.Panel, r.Param, i(r.Tasks), f(r.IMPACC), f(r.MPIX)})
+		}
+	case "fig11":
+		rows, err := Fig11(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"n", "tasks", "mode", "kernel", "comm", "other"})
+		for _, r := range rows {
+			cw.Write([]string{i(r.N), i(r.Tasks), r.Mode.String(), f(r.Kernel), f(r.Comm), f(r.Other)})
+		}
+	case "fig14":
+		rows, err := Fig14(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"n", "tasks", "impacc_dtod_ns", "mpix_dtoh_ns", "mpix_htoh_ns", "mpix_htod_ns"})
+		for _, r := range rows {
+			cw.Write([]string{i(r.N), i(r.Tasks), i(int(r.IMPACCDtoD)),
+				i(int(r.MPIXDtoH)), i(int(r.MPIXHtoH)), i(int(r.MPIXHtoD))})
+		}
+	case "ablation":
+		rows, err := Ablations(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"technique", "workload", "disabled_ns", "enabled_ns", "cost"})
+		for _, r := range rows {
+			cw.Write([]string{r.Technique, r.Workload, i(int(r.Off)), i(int(r.On)), f(r.Gain())})
+		}
+	case "ext-2d":
+		rows, err := Ext2D(opt)
+		if err != nil {
+			return true, err
+		}
+		cw.Write([]string{"n", "tasks", "elapsed_1d_ns", "elapsed_2d_ns", "halo_1d_bytes", "halo_2d_bytes"})
+		for _, r := range rows {
+			cw.Write([]string{i(r.N), i(r.Tasks), i(int(r.Elapsed1D)), i(int(r.Elapsed2D)),
+				i(int(r.Halo1D)), i(int(r.Halo2D))})
+		}
+	default:
+		return false, nil
+	}
+	cw.Flush()
+	return true, cw.Error()
+}

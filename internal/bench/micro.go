@@ -1,0 +1,444 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"impacc/internal/acc"
+	"impacc/internal/apps"
+	"impacc/internal/core"
+	"impacc/internal/device"
+	"impacc/internal/mpi"
+	"impacc/internal/sim"
+	"impacc/internal/topo"
+	"impacc/internal/xmem"
+)
+
+// ---- Figure 4/5: synchronization styles ---------------------------------
+
+// Fig5Result measures one style of the Figure 4 exchange.
+type Fig5Result struct {
+	Style   apps.Style
+	Elapsed sim.Dur
+	// IssueSpan is how long the host thread was captive issuing the
+	// pipeline (until its last enqueue, before any final drain): the
+	// HOST-timeline width of Figure 5. Under the unified activity queue
+	// the host is free almost immediately.
+	IssueSpan sim.Dur
+}
+
+// Fig5 runs the kernel-send-recv-kernel pipeline of Figure 4 in all three
+// styles on two PSG tasks and reports elapsed and host-blocked time,
+// reproducing the Figure 5 timelines.
+func Fig5(opt Options) ([]Fig5Result, error) {
+	n := int64(8 << 20)
+	if opt.Quick {
+		n = 1 << 20
+	}
+	var out []Fig5Result
+	for _, style := range []apps.Style{apps.StyleSync, apps.StyleAsync, apps.StyleUnified} {
+		cfg := baseCfg(topo.PSG(), core.IMPACC, 2, false)
+		issue := make([]sim.Time, 2)
+		rep, err := core.Run(cfg, fig5Prog(style, n, issue))
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %v: %w", style, err)
+		}
+		span := issue[0]
+		if issue[1] > span {
+			span = issue[1]
+		}
+		out = append(out, Fig5Result{Style: style, Elapsed: rep.Elapsed, IssueSpan: sim.Dur(span)})
+	}
+	return out, nil
+}
+
+// fig5Prog is the Figure 4 code: run a kernel producing buf0, exchange buf0
+// for the peer's buf1, run a kernel consuming buf1.
+func fig5Prog(style apps.Style, n int64, issue []sim.Time) core.Program {
+	return func(t *core.Task) {
+		peer := 1 - t.Rank()
+		buf0 := t.Malloc(n)
+		buf1 := t.Malloc(n)
+		t.DataEnter(buf0, n, acc.Create)
+		t.DataEnter(buf1, n, acc.Create)
+		count := int(n / 8)
+		spec := device.KernelSpec{Name: "k", FLOPs: 40 * float64(count), Kind: device.KindCompute}
+		const iters = 4
+		for i := 0; i < iters; i++ {
+			switch style {
+			case apps.StyleSync: // Figure 4 (a)
+				t.Kernels(spec, -1)
+				t.UpdateHost(buf0, n, -1)
+				if t.Rank() == 0 {
+					t.Send(buf0, count, mpi.Float64, peer, 1)
+					t.Recv(buf1, count, mpi.Float64, peer, 1)
+				} else {
+					t.Recv(buf1, count, mpi.Float64, peer, 1)
+					t.Send(buf0, count, mpi.Float64, peer, 1)
+				}
+				t.UpdateDevice(buf1, n, -1)
+				t.Kernels(spec, -1)
+			case apps.StyleAsync: // Figure 4 (b)
+				t.Kernels(spec, 1)
+				t.UpdateHost(buf0, n, 1)
+				t.ACCWait(1)
+				rs := []*core.Request{
+					t.Isend(buf0, count, mpi.Float64, peer, 1),
+					t.Irecv(buf1, count, mpi.Float64, peer, 1),
+				}
+				t.Wait(rs...)
+				t.UpdateDevice(buf1, n, 1)
+				t.Kernels(spec, 1)
+				t.ACCWait(1)
+			default: // Figure 4 (c)
+				t.Kernels(spec, 1)
+				t.Isend(buf0, count, mpi.Float64, peer, 1, core.OnDevice(), core.Async(1))
+				t.Irecv(buf1, count, mpi.Float64, peer, 1, core.OnDevice(), core.Async(1))
+				t.Kernels(spec, 1)
+			}
+		}
+		issue[t.Rank()] = t.Now()
+		if style == apps.StyleUnified {
+			t.ACCWait(1)
+		}
+	}
+}
+
+func runFig5(w io.Writer, opt Options) error {
+	res, err := Fig5(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %12s %14s\n", "style", "elapsed", "host-captive")
+	for _, r := range res {
+		fmt.Fprintf(w, "%-10s %12v %14v\n", r.Style, r.Elapsed, r.IssueSpan)
+	}
+	return nil
+}
+
+// ---- Figure 6: message fusion -------------------------------------------
+
+// Fig6Result counts copy operations for one buffer-location pair.
+type Fig6Result struct {
+	Pair         string // HtoH, HtoD, DtoH, DtoD
+	LegacyCopies int64  // staging + redundant copies in MPI+OpenACC
+	IMPACCCopies int64  // fused copies
+	LegacyTime   sim.Dur
+	IMPACCTime   sim.Dur
+}
+
+// Fig6 transfers one message between two intra-node tasks for each of the
+// four location pairs under both runtimes and counts the physical copies —
+// the content of Figure 6.
+func Fig6(opt Options) ([]Fig6Result, error) {
+	n := int64(16 << 20)
+	if opt.Quick {
+		n = 1 << 20
+	}
+	var out []Fig6Result
+	for _, pair := range []string{"HtoH", "HtoD", "DtoH", "DtoD"} {
+		var res Fig6Result
+		res.Pair = pair
+		for _, mode := range []core.Mode{core.Legacy, core.IMPACC} {
+			times := &p2pTimes{}
+			cfg := baseCfg(topo.PSG(), mode, 2, false)
+			cfg.Pin = core.PinNear // isolate the transport path from pinning
+			rep, err := core.Run(cfg, p2pProg(pair, n, mode == core.Legacy, times))
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s %v: %w", pair, mode, err)
+			}
+			hub := rep.TotalHub()
+			dev := rep.TotalDev()
+			elapsed := sim.Dur(times.end - times.start)
+			if mode == core.Legacy {
+				// Transport shm copies + application staging copies.
+				res.LegacyCopies = int64(hub.LegacyCopies) + dev.HtoDCount + dev.DtoHCount
+				res.LegacyTime = elapsed
+			} else {
+				res.IMPACCCopies = int64(hub.FusedCopies)
+				res.IMPACCTime = elapsed
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runFig6(w io.Writer, opt Options) error {
+	res, err := Fig6(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %14s %14s %14s %14s\n", "pair", "MPI+X copies", "IMPACC copies", "MPI+X time", "IMPACC time")
+	for _, r := range res {
+		fmt.Fprintf(w, "%-6s %14d %14d %14v %14v\n",
+			r.Pair, r.LegacyCopies, r.IMPACCCopies, r.LegacyTime, r.IMPACCTime)
+	}
+	return nil
+}
+
+// ---- Figure 7: node heap aliasing ---------------------------------------
+
+// Fig7Result contrasts a readonly producer-consumer pair with a plain one.
+type Fig7Result struct {
+	ReadOnly bool
+	Aliases  uint64
+	Copies   uint64
+	Elapsed  sim.Dur
+}
+
+// Fig7 reproduces the Figure 7 scenario: task 0 mallocs 100 elements and
+// sends 10 from an offset; task 1 receives into a whole 10-element heap.
+func Fig7(opt Options) ([]Fig7Result, error) {
+	var out []Fig7Result
+	for _, ro := range []bool{false, true} {
+		cfg := baseCfg(topo.PSG(), core.IMPACC, 2, true)
+		var elapsed sim.Dur
+		prog := func(t *core.Task) {
+			const elems = 10
+			if t.Rank() == 0 {
+				src := t.Malloc(100 * 8)
+				if v := t.Floats(src, 100); v != nil {
+					for i := range v {
+						v[i] = float64(i)
+					}
+				}
+				var opts []core.Opt
+				if ro {
+					opts = append(opts, core.ReadOnly())
+				}
+				t.Send(src+xmem.Addr(30*8), elems, mpi.Float64, 1, 0, opts...)
+			} else {
+				dst := t.Malloc(elems * 8)
+				start := t.Now()
+				var opts []core.Opt
+				if ro {
+					opts = append(opts, core.ReadOnly())
+				}
+				t.Recv(dst, elems, mpi.Float64, 0, 0, opts...)
+				elapsed = sim.Dur(t.Now() - start)
+				if v := t.Floats(dst, elems); v != nil && v[0] != 30 {
+					t.Failf("fig7: dst[0] = %v, want 30", v[0])
+				}
+			}
+		}
+		rep, err := core.Run(cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Result{
+			ReadOnly: ro,
+			Aliases:  rep.TotalHub().Aliases,
+			Copies:   rep.TotalHub().FusedCopies,
+			Elapsed:  elapsed,
+		})
+	}
+	return out, nil
+}
+
+func runFig7(w io.Writer, opt Options) error {
+	res, err := Fig7(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-20s %8s %8s %12s\n", "variant", "aliases", "copies", "recv time")
+	for _, r := range res {
+		name := "plain"
+		if r.ReadOnly {
+			name = "readonly (#pam)"
+		}
+		fmt.Fprintf(w, "%-20s %8d %8d %12v\n", name, r.Aliases, r.Copies, r.Elapsed)
+	}
+	return nil
+}
+
+// ---- Figure 8: NUMA-friendly pinning -------------------------------------
+
+// Fig8Row is one bandwidth sample.
+type Fig8Row struct {
+	System  string
+	Dir     string // HtoD or DtoH
+	Bytes   int64
+	NearGBs float64
+	FarGBs  float64
+}
+
+func fig8Sizes(opt Options) []int64 {
+	if opt.Quick {
+		return []int64{64, 256 << 10, 64 << 20}
+	}
+	return []int64{64, 1 << 10, 16 << 10, 256 << 10, 4 << 20, 64 << 20, 1 << 30}
+}
+
+// Fig8 measures accelerator copy bandwidth with NUMA-friendly and
+// NUMA-unfriendly task pinning on PSG and Beacon (paper Figure 8).
+func Fig8(opt Options) ([]Fig8Row, error) {
+	var out []Fig8Row
+	systems := []struct {
+		name string
+		sys  func() *topo.System
+	}{
+		{"PSG", topo.PSG},
+		{"Beacon", func() *topo.System { return topo.Beacon(1) }},
+	}
+	for _, s := range systems {
+		for _, dir := range []string{"HtoD", "DtoH"} {
+			for _, size := range fig8Sizes(opt) {
+				row := Fig8Row{System: s.name, Dir: dir, Bytes: size}
+				for _, pin := range []core.PinPolicy{core.PinNear, core.PinFar} {
+					cfg := baseCfg(s.sys(), core.IMPACC, 1, false)
+					cfg.Pin = pin
+					var elapsed sim.Dur
+					_, err := core.Run(cfg, func(t *core.Task) {
+						buf := t.Malloc(size)
+						t.DataEnter(buf, size, acc.Create)
+						start := t.Now()
+						if dir == "HtoD" {
+							t.UpdateDevice(buf, size, -1)
+						} else {
+							t.UpdateHost(buf, size, -1)
+						}
+						elapsed = sim.Dur(t.Now() - start)
+						t.DataExit(buf, acc.Delete)
+					})
+					if err != nil {
+						return nil, err
+					}
+					if pin == core.PinNear {
+						row.NearGBs = gbs(size, elapsed)
+					} else {
+						row.FarGBs = gbs(size, elapsed)
+					}
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runFig8(w io.Writer, opt Options) error {
+	rows, err := Fig8(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-5s %-8s %12s %12s %8s\n", "system", "dir", "size", "near GB/s", "far GB/s", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-5s %-8s %12.2f %12.2f %8.2f\n",
+			r.System, r.Dir, sizeLabel(r.Bytes), r.NearGBs, r.FarGBs, r.NearGBs/r.FarGBs)
+	}
+	return nil
+}
+
+// ---- Figure 9: point-to-point bandwidth ----------------------------------
+
+// p2pTimes captures transfer start (sender) and end (receiver).
+type p2pTimes struct {
+	start, end sim.Time
+}
+
+// p2pProg transfers one message of the given location pair between rank 0
+// (sender) and rank 1 (receiver). Under legacy, device endpoints stage
+// explicitly through host buffers (the application-level copies of the
+// MPI+OpenACC baseline); under IMPACC the unified routines take device
+// addresses directly.
+func p2pProg(pair string, n int64, legacy bool, res *p2pTimes) core.Program {
+	srcDev := pair == "DtoH" || pair == "DtoD"
+	dstDev := pair == "HtoD" || pair == "DtoD"
+	count := int(n / 8)
+	return func(t *core.Task) {
+		buf := t.Malloc(n)
+		if (t.Rank() == 0 && srcDev) || (t.Rank() == 1 && dstDev) {
+			t.DataEnter(buf, n, acc.Create)
+		}
+		if t.Rank() == 0 {
+			res.start = t.Now()
+			if legacy {
+				if srcDev {
+					t.UpdateHost(buf, n, -1) // explicit copyout
+				}
+				t.Send(buf, count, mpi.Float64, 1, 0)
+				return
+			}
+			opts := []core.Opt{}
+			if srcDev {
+				opts = append(opts, core.OnDevice())
+			}
+			t.Send(buf, count, mpi.Float64, 1, 0, opts...)
+			return
+		}
+		if legacy {
+			t.Recv(buf, count, mpi.Float64, 0, 0)
+			if dstDev {
+				t.UpdateDevice(buf, n, -1) // explicit copyin
+			}
+			res.end = t.Now()
+			return
+		}
+		opts := []core.Opt{}
+		if dstDev {
+			opts = append(opts, core.OnDevice())
+		}
+		t.Recv(buf, count, mpi.Float64, 0, 0, opts...)
+		res.end = t.Now()
+	}
+}
+
+// Fig9Row is one bandwidth comparison sample.
+type Fig9Row struct {
+	Panel     string // e.g. "PSG DtoD (intra)", "Titan HtoH (inter)"
+	Bytes     int64
+	IMPACCGBs float64
+	MPIXGBs   float64
+}
+
+// Fig9 measures point-to-point bandwidth between two tasks for every panel
+// of Figure 9: intra-node on PSG and Beacon, internode on Titan.
+func Fig9(opt Options) ([]Fig9Row, error) {
+	panels := []struct {
+		name string
+		sys  func() *topo.System
+	}{
+		{"PSG-intra", topo.PSG},
+		{"Beacon-intra", func() *topo.System { return topo.Beacon(1) }},
+		{"Titan-inter", func() *topo.System { return topo.Titan(2) }},
+	}
+	var out []Fig9Row
+	for _, p := range panels {
+		for _, pair := range []string{"HtoH", "HtoD", "DtoD"} {
+			for _, size := range fig8Sizes(opt) {
+				row := Fig9Row{Panel: p.name + " " + pair, Bytes: size}
+				for _, mode := range []core.Mode{core.IMPACC, core.Legacy} {
+					times := &p2pTimes{}
+					cfg := baseCfg(p.sys(), mode, 2, false)
+					cfg.Pin = core.PinNear // isolate the transport path
+					_, err := core.Run(cfg, p2pProg(pair, size, mode == core.Legacy, times))
+					if err != nil {
+						return nil, fmt.Errorf("fig9 %s %s %v: %w", p.name, pair, mode, err)
+					}
+					bw := gbs(size, sim.Dur(times.end-times.start))
+					if mode == core.IMPACC {
+						row.IMPACCGBs = bw
+					} else {
+						row.MPIXGBs = bw
+					}
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runFig9(w io.Writer, opt Options) error {
+	rows, err := Fig9(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-20s %-8s %13s %13s %8s\n", "panel", "size", "IMPACC GB/s", "MPI+X GB/s", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-8s %13.2f %13.2f %8.2f\n",
+			r.Panel, sizeLabel(r.Bytes), r.IMPACCGBs, r.MPIXGBs, r.IMPACCGBs/r.MPIXGBs)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package core is the IMPACC runtime (the paper's primary contribution):
+// it launches one threaded-MPI task per accelerator with automatic
+// task-device mapping (§3.2, Figure 2), pins tasks to NUMA-near CPUs
+// (§3.3), gives every task on a node the unified node virtual address space
+// (§3.4), provides unified MPI communication routines (§3.5), the unified
+// activity queue (§3.6), the message-handler communication engine (§3.7),
+// and node heap aliasing (§3.8).
+//
+// The same runtime also executes the legacy MPI+OpenACC baseline: tasks
+// become OS processes with private address spaces, no pinning, no fusion,
+// no aliasing, and no unified queue — the configuration every paper figure
+// compares against.
+package core
+
+import (
+	"fmt"
+
+	"impacc/internal/msg"
+	"impacc/internal/sim"
+	"impacc/internal/topo"
+)
+
+// Mode selects the programming-model implementation.
+type Mode int
+
+const (
+	// IMPACC is the paper's integrated runtime.
+	IMPACC Mode = iota
+	// Legacy is the traditional MPI+OpenACC baseline.
+	Legacy
+)
+
+func (m Mode) String() string {
+	if m == IMPACC {
+		return "IMPACC"
+	}
+	return "MPI+OpenACC"
+}
+
+// PinPolicy controls task-CPU pinning (§3.3, Figure 8).
+type PinPolicy int
+
+const (
+	// PinDefault resolves to PinNear under IMPACC and PinNone under legacy.
+	PinDefault PinPolicy = iota
+	// PinNear pins each task next to its accelerator (NUMA-friendly).
+	PinNear
+	// PinFar pins each task to a far socket (the NUMA-unfriendly
+	// configuration measured in Figure 8).
+	PinFar
+	// PinNone leaves tasks unpinned (OS placement).
+	PinNone
+)
+
+// Features toggles the individual IMPACC techniques, for ablations. The
+// zero value means "defaults for the mode".
+type Features struct {
+	Fusion       bool // message fusion (§3.7)
+	Aliasing     bool // node heap aliasing (§3.8)
+	DirectP2P    bool // direct DtoD over shared root complex
+	RDMA         bool // GPUDirect RDMA internode
+	UnifiedQueue bool // MPI ops on OpenACC activity queues (§3.6)
+}
+
+// DefaultFeatures returns the canonical feature set for a mode.
+func DefaultFeatures(m Mode) Features {
+	if m == IMPACC {
+		return Features{Fusion: true, Aliasing: true, DirectP2P: true, RDMA: true, UnifiedQueue: true}
+	}
+	return Features{}
+}
+
+// Overheads are the runtime's fixed software costs. Zero fields take the
+// listed defaults.
+type Overheads struct {
+	Cmd     sim.Dur // task-side message command creation (default 300ns)
+	Handler sim.Dur // handler per-command processing (default 400ns)
+	Alias   sim.Dur // applying node heap aliasing (default 1µs)
+}
+
+// Config describes one run.
+type Config struct {
+	System *topo.System
+	Mode   Mode
+	// DeviceTypes is the IMPACC_ACC_DEVICE_TYPE bit field (Figure 2);
+	// zero selects every accelerator (acc_device_default).
+	DeviceTypes topo.ClassMask
+	Pin         PinPolicy
+	// Features overrides DefaultFeatures(Mode) when non-nil.
+	Features  *Features
+	Overheads Overheads
+	// Backed attaches real storage to allocations so applications compute
+	// genuine results; disable for extreme-scale timing-only runs.
+	Backed bool
+	// Seed drives all pseudo-randomness (jitter, application data).
+	Seed uint64
+	// MaxTasks caps the number of launched tasks (0 = all devices).
+	MaxTasks int
+	// ForceSerialMPI pretends the underlying MPI library lacks
+	// MPI_THREAD_MULTIPLE (paper §3.7 fallback), for ablation.
+	ForceSerialMPI bool
+	// JitterPct adds deterministic pseudo-random skew to host compute
+	// (percent, e.g. 2.0). Models OS noise; 0 disables.
+	JitterPct float64
+	// Trace, when non-nil, collects per-task execution spans (kernels,
+	// copies, MPI blocking, host compute) for timeline export.
+	Trace *Tracer
+}
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	if c.System == nil {
+		return fmt.Errorf("core: Config.System is required")
+	}
+	if len(c.System.Nodes) == 0 {
+		return fmt.Errorf("core: system has no nodes")
+	}
+	if c.Pin == PinDefault {
+		if c.Mode == IMPACC {
+			c.Pin = PinNear
+		} else {
+			c.Pin = PinNone
+		}
+	}
+	if c.Overheads.Cmd == 0 {
+		c.Overheads.Cmd = 300
+	}
+	if c.Overheads.Handler == 0 {
+		c.Overheads.Handler = 400
+	}
+	if c.Overheads.Alias == 0 {
+		c.Overheads.Alias = 1000
+	}
+	return nil
+}
+
+// features resolves the effective feature set.
+func (c *Config) features() Features {
+	if c.Features != nil {
+		return *c.Features
+	}
+	return DefaultFeatures(c.Mode)
+}
+
+// msgConfig builds the hub configuration.
+func (c *Config) msgConfig() msg.Config {
+	f := c.features()
+	return msg.Config{
+		Legacy:          c.Mode == Legacy,
+		Fusion:          f.Fusion,
+		Aliasing:        f.Aliasing,
+		RDMA:            f.RDMA,
+		DirectP2P:       f.DirectP2P,
+		ThreadMultiple:  c.System.ThreadMultiple && !c.ForceSerialMPI,
+		CmdOverhead:     c.Overheads.Cmd,
+		HandlerOverhead: c.Overheads.Handler,
+		AliasOverhead:   c.Overheads.Alias,
+		MPIOverhead:     c.System.MPIOverhead,
+	}
+}
+
+// Placement maps one rank to its node and device (Figure 2).
+type Placement struct {
+	Node   int
+	Device int
+}
+
+// BuildMapping computes the automatic task-device mapping: one task per
+// accelerator matching the device-type mask, ranks assigned node-major in
+// device order, capped at maxTasks when positive (paper §3.2: "the IMPACC
+// runtime automatically creates the same number of MPI tasks as the number
+// of all available or user's specified accelerators").
+func BuildMapping(sys *topo.System, mask topo.ClassMask, maxTasks int) []Placement {
+	var out []Placement
+	for n := range sys.Nodes {
+		for d := range sys.Nodes[n].Devices {
+			if mask.Has(sys.Nodes[n].Devices[d].Class) {
+				out = append(out, Placement{Node: n, Device: d})
+				if maxTasks > 0 && len(out) == maxTasks {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

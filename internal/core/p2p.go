@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+
+	"impacc/internal/mpi"
+	"impacc/internal/msg"
+	"impacc/internal/sim"
+	"impacc/internal/xmem"
+)
+
+// Wildcards re-exported for applications.
+const (
+	AnySource = msg.AnySource
+	AnyTag    = msg.AnyTag
+)
+
+// Opt modifies an MPI call, mirroring the IMPACC directive clauses of §3.5:
+//
+//	#pragma acc mpi sendbuf(device, readonly) async(1)
+type Opt func(*callOpts)
+
+type callOpts struct {
+	device   bool
+	readonly bool
+	async    int
+	comm     int
+}
+
+// OnDevice marks the buffer argument as host data whose *device copy*
+// participates in the transfer (the sendbuf(device)/recvbuf(device)
+// clause): the runtime translates the address through the present table.
+func OnDevice() Opt { return func(o *callOpts) { o.device = true } }
+
+// ReadOnly asserts the buffer is read-only around the call (the readonly
+// attribute), enabling node heap aliasing (§3.8).
+func ReadOnly() Opt { return func(o *callOpts) { o.readonly = true } }
+
+// Async enqueues the MPI call on OpenACC activity queue q — the unified
+// activity queue of §3.6. Requires IMPACC mode.
+func Async(q int) Opt { return func(o *callOpts) { o.async = q } }
+
+func parseOpts(opts []Opt) callOpts {
+	o := callOpts{async: -1}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Request is a non-blocking communication handle (MPI_Request).
+type Request struct {
+	done *sim.Event
+	cmd  *msg.Cmd
+	uq   *uqOp
+}
+
+// Done reports whether the operation has completed (MPI_Test).
+func (r *Request) Done() bool { return r.done.Fired() }
+
+// uqOp tracks one MPI operation placed on a unified activity queue: the
+// command materializes when the queue reaches the operation; proxy fires at
+// transfer completion.
+type uqOp struct {
+	proxy *sim.Event
+	cmd   *msg.Cmd
+}
+
+// resolveBuf applies the device clause and computes the byte count.
+func (t *Task) resolveBuf(addr xmem.Addr, count int, dt mpi.Datatype, o callOpts) (xmem.Addr, int64) {
+	if count < 0 {
+		t.failf("negative count %d", count)
+	}
+	buf := addr
+	if o.device {
+		if t.rt.Cfg.Mode == Legacy {
+			t.failf("sendbuf/recvbuf(device) requires IMPACC (legacy MPI sees host buffers only)")
+		}
+		buf = t.DevicePtr(addr)
+	}
+	return buf, int64(count) * dt.Size()
+}
+
+// newCmd assembles a message command. Ranks are world ranks; o.comm scopes
+// the matching context.
+func (t *Task) newCmd(isSend bool, buf xmem.Addr, bytes int64, src, dst, tag int, o callOpts) *msg.Cmd {
+	return &msg.Cmd{
+		IsSend: isSend, Src: src, Dst: dst, Tag: tag, Comm: o.comm,
+		Addr: buf, Bytes: bytes, Ep: t.ep, ReadOnly: o.readonly,
+		Done: t.rt.Eng.NewEvent(fmt.Sprintf("mpi-%d", t.rank)),
+	}
+}
+
+// postSend initiates the send on process p and returns its command.
+func (t *Task) postSend(p *sim.Proc, buf xmem.Addr, bytes int64, dst, tag int, o callOpts) *msg.Cmd {
+	cmd := t.newCmd(true, buf, bytes, t.rank, dst, tag, o)
+	if t.sameNode(dst) {
+		t.node.hub.PostIntra(p, cmd)
+	} else {
+		t.node.hub.PostNetSend(p, cmd, t.rt.nodes[t.rt.placements[dst].Node].hub)
+	}
+	return cmd
+}
+
+// postRecv posts the receive on process p.
+func (t *Task) postRecv(p *sim.Proc, buf xmem.Addr, bytes int64, src, tag int, o callOpts) *msg.Cmd {
+	cmd := t.newCmd(false, buf, bytes, src, t.rank, tag, o)
+	if src != AnySource && t.sameNode(src) {
+		t.node.hub.PostIntra(p, cmd)
+	} else {
+		// Remote or wildcard source: the hub's unified matcher covers
+		// both arrived internode messages and local sends.
+		t.node.hub.PostNetRecv(p, cmd)
+	}
+	return cmd
+}
+
+// commWait blocks the task until ev fires, accounting the time as
+// communication.
+func (t *Task) commWait(ev *sim.Event) {
+	start := t.proc.Now()
+	ev.Wait(t.proc)
+	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.span("mpi", "wait", start)
+}
+
+func (t *Task) checkCmd(cmd *msg.Cmd) {
+	if cmd.Err != nil {
+		t.fail(cmd.Err)
+	}
+}
+
+func (t *Task) checkTag(tag int) {
+	if tag < 0 && tag != AnyTag {
+		t.failf("application tags must be non-negative (got %d)", tag)
+	}
+}
+
+// Send is MPI_Send on MPI_COMM_WORLD: blocking standard-mode send of count
+// elements of dt at addr to rank dst. With Async(q), the call is placed on
+// activity queue q and the host continues immediately (unified activity
+// queue, §3.6).
+func (t *Task) Send(addr xmem.Addr, count int, dt mpi.Datatype, dst, tag int, opts ...Opt) {
+	t.checkRank(dst)
+	t.sendOn(t.world, addr, count, dt, dst, tag, opts)
+}
+
+// Recv is MPI_Recv on MPI_COMM_WORLD. src may be AnySource, tag AnyTag.
+func (t *Task) Recv(addr xmem.Addr, count int, dt mpi.Datatype, src, tag int, opts ...Opt) {
+	if src != AnySource {
+		t.checkRank(src)
+	}
+	t.recvOn(t.world, addr, count, dt, src, tag, opts)
+}
+
+// Isend is MPI_Isend on MPI_COMM_WORLD: the send is initiated and a request
+// returned. With Async(q) the operation instead joins activity queue q and
+// the returned request completes when the queue reaches and finishes it.
+func (t *Task) Isend(addr xmem.Addr, count int, dt mpi.Datatype, dst, tag int, opts ...Opt) *Request {
+	t.checkRank(dst)
+	return t.isendOn(t.world, addr, count, dt, dst, tag, opts)
+}
+
+// Irecv is MPI_Irecv on MPI_COMM_WORLD.
+func (t *Task) Irecv(addr xmem.Addr, count int, dt mpi.Datatype, src, tag int, opts ...Opt) *Request {
+	if src != AnySource {
+		t.checkRank(src)
+	}
+	return t.irecvOn(t.world, addr, count, dt, src, tag, opts)
+}
+
+// sendOn implements blocking send over communicator c (dst is a comm rank).
+func (t *Task) sendOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, dst, tag int, opts []Opt) {
+	o := parseOpts(opts)
+	o.comm = c.id
+	t.checkTag(tag)
+	wdst := c.ranks[dst]
+	buf, bytes := t.resolveBuf(addr, count, dt, o)
+	if o.async >= 0 {
+		t.enqueueUnifiedMPI("mpi_send", o.async, func(p *sim.Proc) *msg.Cmd {
+			return t.postSend(p, buf, bytes, wdst, tag, o)
+		})
+		return
+	}
+	start := t.proc.Now()
+	cmd := t.postSend(t.proc, buf, bytes, wdst, tag, o)
+	cmd.Done.Wait(t.proc)
+	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.span("mpi", "send", start)
+	t.checkCmd(cmd)
+}
+
+// recvOn implements blocking receive over communicator c.
+func (t *Task) recvOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, src, tag int, opts []Opt) {
+	o := parseOpts(opts)
+	o.comm = c.id
+	t.checkTag(tag)
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.ranks[src]
+	}
+	buf, bytes := t.resolveBuf(addr, count, dt, o)
+	if o.async >= 0 {
+		t.enqueueUnifiedMPI("mpi_recv", o.async, func(p *sim.Proc) *msg.Cmd {
+			return t.postRecv(p, buf, bytes, wsrc, tag, o)
+		})
+		return
+	}
+	start := t.proc.Now()
+	cmd := t.postRecv(t.proc, buf, bytes, wsrc, tag, o)
+	cmd.Done.Wait(t.proc)
+	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.span("mpi", "recv", start)
+	t.checkCmd(cmd)
+}
+
+// isendOn implements non-blocking send over communicator c.
+func (t *Task) isendOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, dst, tag int, opts []Opt) *Request {
+	o := parseOpts(opts)
+	o.comm = c.id
+	t.checkTag(tag)
+	wdst := c.ranks[dst]
+	buf, bytes := t.resolveBuf(addr, count, dt, o)
+	if o.async >= 0 {
+		return t.enqueueUnifiedMPI("mpi_isend", o.async, func(p *sim.Proc) *msg.Cmd {
+			return t.postSend(p, buf, bytes, wdst, tag, o)
+		})
+	}
+	start := t.proc.Now()
+	cmd := t.postSend(t.proc, buf, bytes, wdst, tag, o)
+	t.commTime += sim.Dur(t.proc.Now() - start)
+	return &Request{done: cmd.Done, cmd: cmd}
+}
+
+// irecvOn implements non-blocking receive over communicator c.
+func (t *Task) irecvOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, src, tag int, opts []Opt) *Request {
+	o := parseOpts(opts)
+	o.comm = c.id
+	t.checkTag(tag)
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.ranks[src]
+	}
+	buf, bytes := t.resolveBuf(addr, count, dt, o)
+	if o.async >= 0 {
+		return t.enqueueUnifiedMPI("mpi_irecv", o.async, func(p *sim.Proc) *msg.Cmd {
+			return t.postRecv(p, buf, bytes, wsrc, tag, o)
+		})
+	}
+	start := t.proc.Now()
+	cmd := t.postRecv(t.proc, buf, bytes, wsrc, tag, o)
+	t.commTime += sim.Dur(t.proc.Now() - start)
+	return &Request{done: cmd.Done, cmd: cmd}
+}
+
+// Wait is MPI_Wait/MPI_Waitall over the given requests.
+func (t *Task) Wait(reqs ...*Request) {
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		t.commWait(r.done)
+		if r.cmd != nil {
+			t.checkCmd(r.cmd)
+		}
+		if r.uq != nil && r.uq.cmd != nil {
+			t.checkCmd(r.uq.cmd)
+		}
+	}
+}
+
+// Sendrecv is MPI_Sendrecv: concurrent blocking send and receive.
+func (t *Task) Sendrecv(sendAddr xmem.Addr, sendCount int, sdt mpi.Datatype, dst, sendTag int,
+	recvAddr xmem.Addr, recvCount int, rdt mpi.Datatype, src, recvTag int, opts ...Opt) {
+	sr := t.Isend(sendAddr, sendCount, sdt, dst, sendTag, opts...)
+	rr := t.Irecv(recvAddr, recvCount, rdt, src, recvTag, opts...)
+	t.Wait(sr, rr)
+}
+
+// enqueueUnifiedMPI places an MPI operation on activity queue q: the
+// unified activity queue of §3.6. The operation *initiates* when the queue
+// reaches it (so two adjacent non-blocking calls can be in flight together,
+// as in Figure 4 (c)); its completion is tracked, and any later kernel,
+// data operation, or wait on the same queue first drains outstanding MPI
+// completions — the queue's in-order completion guarantee.
+func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg.Cmd) *Request {
+	if t.rt.Cfg.Mode == Legacy || !t.rt.feats.UnifiedQueue {
+		t.failf("async MPI (%s) requires the IMPACC unified activity queue", name)
+	}
+	op := &uqOp{proxy: t.rt.Eng.NewEvent(name + "-done")}
+	t.env.Stream(q).EnqueueFunc(name, func(p *sim.Proc) {
+		cmd := init(p)
+		op.cmd = cmd
+		cmd.Done.OnFire(op.proxy.Fire)
+	})
+	t.uqPending[q] = append(t.uqPending[q], op)
+	return &Request{done: op.proxy, uq: op}
+}
+
+// uqBarrier enqueues a completion barrier for all MPI operations placed on
+// queue q so far: the next queued operation starts only after they finish.
+func (t *Task) uqBarrier(q int) {
+	pend := t.uqPending[q]
+	if len(pend) == 0 {
+		return
+	}
+	t.uqPending[q] = nil
+	rank := t.rank
+	t.env.Stream(q).EnqueueFunc("uq-barrier", func(p *sim.Proc) {
+		for _, op := range pend {
+			op.proxy.Wait(p)
+			if op.cmd != nil && op.cmd.Err != nil {
+				panic(&RunError{Rank: rank, Err: op.cmd.Err})
+			}
+		}
+	})
+}
+
+// Status reports which message satisfied a receive (MPI_Status): the world
+// rank of the sender, the tag, and the element count actually received.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Status returns the matched-message information of a completed receive
+// request; Count is in dt units. Meaningful after Wait/Done.
+func (r *Request) Status(dt mpi.Datatype) Status {
+	cmd := r.cmd
+	if cmd == nil && r.uq != nil {
+		cmd = r.uq.cmd
+	}
+	if cmd == nil || !r.done.Fired() {
+		return Status{Source: AnySource, Tag: AnyTag}
+	}
+	return Status{
+		Source: cmd.MatchedSrc,
+		Tag:    cmd.MatchedTag,
+		Count:  int(cmd.MatchedBytes / dt.Size()),
+	}
+}
+
+// RecvStatus is MPI_Recv returning the matched status — the companion of
+// wildcard receives.
+func (t *Task) RecvStatus(addr xmem.Addr, count int, dt mpi.Datatype, src, tag int, opts ...Opt) Status {
+	r := t.Irecv(addr, count, dt, src, tag, opts...)
+	t.Wait(r)
+	return r.Status(dt)
+}
+
+// Waitany is MPI_Waitany: block until one of the requests completes and
+// return its index. Completed or nil entries are reported immediately.
+func (t *Task) Waitany(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	for {
+		for i, r := range reqs {
+			if r == nil {
+				continue
+			}
+			if r.done.Fired() {
+				if r.cmd != nil {
+					t.checkCmd(r.cmd)
+				}
+				return i
+			}
+		}
+		// Park until any one fires: register a shared wake.
+		any := t.rt.Eng.NewEvent("waitany")
+		for _, r := range reqs {
+			if r != nil {
+				r.done.OnFire(any.Fire)
+			}
+		}
+		t.commWait(any)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"impacc/internal/device"
+	"impacc/internal/msg"
+	"impacc/internal/sim"
+	"impacc/internal/topo"
+)
+
+// TaskReport is one task's accounting after a run.
+type TaskReport struct {
+	Rank       int
+	Node       int
+	Device     int
+	DeviceType topo.DeviceClass
+	End        sim.Time // when the task's program returned
+	Comm       sim.Dur  // host time blocked in MPI operations
+	AccWait    sim.Dur  // host time blocked in acc wait / sync kernels
+	HostBusy   sim.Dur  // host compute time
+	Dev        device.Stats
+	// LeakedMappings counts device data mappings still present when the
+	// task returned — enter-data without matching exit-data.
+	LeakedMappings int
+}
+
+// HubReport is one node hub's accounting.
+type HubReport struct {
+	Node        int
+	Stats       msg.Stats
+	HandlerBusy sim.Dur
+	// Link utilization: accumulated busy time of the node's shared
+	// resources over the run.
+	NICOutBusy, NICInBusy, MemBusBusy sim.Dur
+	PCIeBusy                          []sim.Dur
+}
+
+// Report summarizes a run.
+type Report struct {
+	Mode    Mode
+	System  string
+	NTasks  int
+	Elapsed sim.Dur // max task end time
+	Tasks   []TaskReport
+	Hubs    []HubReport
+}
+
+func (rt *Runtime) buildReport() *Report {
+	r := &Report{
+		Mode:   rt.Cfg.Mode,
+		System: rt.Cfg.System.Name,
+		NTasks: len(rt.tasks),
+	}
+	for _, t := range rt.tasks {
+		tr := TaskReport{
+			Rank:           t.rank,
+			Node:           t.pl.Node,
+			Device:         t.pl.Device,
+			DeviceType:     t.DeviceType(),
+			End:            t.endAt,
+			Comm:           t.commTime,
+			AccWait:        t.env.WaitTime,
+			HostBusy:       t.hostTime,
+			Dev:            t.ep.Ctx.Stats,
+			LeakedMappings: t.env.PT.Len(),
+		}
+		if sim.Dur(t.endAt) > r.Elapsed {
+			r.Elapsed = sim.Dur(t.endAt)
+		}
+		r.Tasks = append(r.Tasks, tr)
+	}
+	var nodes []int
+	for n := range rt.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		ns := rt.nodes[n]
+		nr := rt.Fab.Node(n)
+		hr := HubReport{
+			Node:        n,
+			Stats:       ns.hub.Stats,
+			HandlerBusy: ns.hub.HandlerBusy(),
+			NICOutBusy:  nr.NICOut.BusyTime,
+			NICInBusy:   nr.NICIn.BusyTime,
+			MemBusBusy:  nr.MemBus.BusyTime,
+		}
+		for _, p := range nr.PCIe {
+			if p != nil {
+				hr.PCIeBusy = append(hr.PCIeBusy, p.BusyTime)
+			} else {
+				hr.PCIeBusy = append(hr.PCIeBusy, 0)
+			}
+		}
+		r.Hubs = append(r.Hubs, hr)
+	}
+	return r
+}
+
+// TotalDev aggregates device stats across tasks.
+func (r *Report) TotalDev() device.Stats {
+	var s device.Stats
+	for i := range r.Tasks {
+		s.Add(&r.Tasks[i].Dev)
+	}
+	return s
+}
+
+// TotalHub aggregates hub counters across nodes.
+func (r *Report) TotalHub() msg.Stats {
+	var s msg.Stats
+	for _, h := range r.Hubs {
+		s.IntraMsgs += h.Stats.IntraMsgs
+		s.NetIn += h.Stats.NetIn
+		s.NetOut += h.Stats.NetOut
+		s.FusedCopies += h.Stats.FusedCopies
+		s.LegacyCopies += h.Stats.LegacyCopies
+		s.Aliases += h.Stats.Aliases
+		s.RDMADirect += h.Stats.RDMADirect
+		s.Staged += h.Stats.Staged
+	}
+	return s
+}
+
+// Leaks sums unreleased device mappings across tasks (enter-data without
+// exit-data); well-formed OpenACC programs end with zero.
+func (r *Report) Leaks() int {
+	total := 0
+	for i := range r.Tasks {
+		total += r.Tasks[i].LeakedMappings
+	}
+	return total
+}
+
+// MaxComm returns the largest per-task communication time.
+func (r *Report) MaxComm() sim.Dur {
+	var m sim.Dur
+	for i := range r.Tasks {
+		if r.Tasks[i].Comm > m {
+			m = r.Tasks[i].Comm
+		}
+	}
+	return m
+}
+
+// MeanKernel returns the average per-task kernel time.
+func (r *Report) MeanKernel() sim.Dur {
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	var sum sim.Dur
+	for i := range r.Tasks {
+		sum += r.Tasks[i].Dev.KernelTime
+	}
+	return sum / sim.Dur(len(r.Tasks))
+}
+
+// Print writes a human-readable summary.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s on %s: %d tasks, elapsed %v\n", r.Mode, r.System, r.NTasks, r.Elapsed)
+	dev := r.TotalDev()
+	hub := r.TotalHub()
+	fmt.Fprintf(w, "  kernels: %d (%v)  copies: HtoD %d  DtoH %d  DtoD %d  HtoH %d\n",
+		dev.KernelCount, dev.KernelTime, dev.HtoDCount, dev.DtoHCount, dev.DtoDCount, dev.HtoHCount)
+	fmt.Fprintf(w, "  msgs: intra %d  net-out %d  fused %d  aliased %d  rdma %d  staged %d\n",
+		hub.IntraMsgs, hub.NetOut, hub.FusedCopies, hub.Aliases, hub.RDMADirect, hub.Staged)
+	if r.Elapsed > 0 {
+		var nic, pcie sim.Dur
+		for _, h := range r.Hubs {
+			nic += h.NICOutBusy
+			for _, p := range h.PCIeBusy {
+				pcie += p
+			}
+		}
+		fmt.Fprintf(w, "  utilization: NIC %.1f%%  PCIe %.1f%% (aggregate across nodes/devices)\n",
+			100*nic.Seconds()/(r.Elapsed.Seconds()*float64(len(r.Hubs))),
+			100*pcie.Seconds()/(r.Elapsed.Seconds()*float64(max(1, len(r.Tasks)))))
+	}
+}

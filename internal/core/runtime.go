@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"impacc/internal/device"
+	"impacc/internal/msg"
+	"impacc/internal/sim"
+	"impacc/internal/topo"
+	"impacc/internal/xmem"
+)
+
+// Program is the SPMD application body, executed once per task.
+type Program func(t *Task)
+
+// nodeState bundles one node's runtime objects.
+type nodeState struct {
+	idx   int
+	hub   *msg.Hub
+	heap  *xmem.HeapTable
+	devrt *device.Runtime
+	// space is the unified node virtual address space (IMPACC); legacy
+	// tasks carry private spaces instead.
+	space *xmem.Space
+}
+
+// Runtime executes one configured run.
+type Runtime struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Fab   *topo.Fabric
+	feats Features
+
+	nodes      map[int]*nodeState
+	tasks      []*Task
+	placements []Placement
+	// splits carries Comm.Split group metadata out of band: the color/key
+	// pairs are control information (the allgather still prices the wire
+	// exchange), keyed by (parent context id, split sequence).
+	splits map[[2]int]map[int][2]int
+}
+
+// depositSplit records one member's (color, key) for a split instance.
+func (rt *Runtime) depositSplit(commID, seq, commRank, color, key int) {
+	if rt.splits == nil {
+		rt.splits = map[[2]int]map[int][2]int{}
+	}
+	k := [2]int{commID, seq}
+	if rt.splits[k] == nil {
+		rt.splits[k] = map[int][2]int{}
+	}
+	rt.splits[k][commRank] = [2]int{color, key}
+}
+
+// lookupSplit returns all deposited pairs for a split instance.
+func (rt *Runtime) lookupSplit(commID, seq int) map[int][2]int {
+	return rt.splits[[2]int{commID, seq}]
+}
+
+// RunError wraps a task failure.
+type RunError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RunError) Error() string { return fmt.Sprintf("task %d: %v", e.Rank, e.Err) }
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Run builds the runtime for cfg, executes prog on every task, and returns
+// the report.
+func Run(cfg Config, prog Program) (*Report, error) {
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Execute(prog)
+}
+
+// NewRuntime validates cfg and materializes the engine, fabric, mapping,
+// per-node hubs, and tasks.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		Cfg:   cfg,
+		Eng:   sim.NewEngine(),
+		feats: cfg.features(),
+		nodes: map[int]*nodeState{},
+	}
+	rt.Fab = topo.NewFabric(rt.Eng, cfg.System)
+	rt.placements = BuildMapping(cfg.System, cfg.DeviceTypes, cfg.MaxTasks)
+	if len(rt.placements) == 0 {
+		return nil, fmt.Errorf("core: no accelerators match device types %v", cfg.DeviceTypes)
+	}
+	mcfg := cfg.msgConfig()
+	for rank, pl := range rt.placements {
+		ns, ok := rt.nodes[pl.Node]
+		if !ok {
+			heap := xmem.NewHeapTable()
+			ns = &nodeState{
+				idx:   pl.Node,
+				heap:  heap,
+				hub:   msg.NewHub(rt.Eng, rt.Fab, pl.Node, mcfg, heap),
+				devrt: device.NewRuntime(rt.Eng, rt.Fab, pl.Node),
+			}
+			if cfg.Mode == IMPACC {
+				ns.space = xmem.NewSpace(
+					fmt.Sprintf("node%d", pl.Node),
+					len(cfg.System.Nodes[pl.Node].Devices))
+			}
+			rt.nodes[pl.Node] = ns
+		}
+		rt.tasks = append(rt.tasks, rt.newTask(rank, pl, ns))
+	}
+	return rt, nil
+}
+
+// pinSocket resolves the CPU socket a task is pinned to.
+func (rt *Runtime) pinSocket(pl Placement) int {
+	node := &rt.Cfg.System.Nodes[pl.Node]
+	near := node.Devices[pl.Device].Socket
+	switch rt.Cfg.Pin {
+	case PinNear:
+		return near
+	case PinFar:
+		if len(node.Sockets) < 2 {
+			return near
+		}
+		return (near + 1) % len(node.Sockets)
+	default: // PinNone
+		return -1
+	}
+}
+
+// Tasks exposes the task list (for test instrumentation).
+func (rt *Runtime) Tasks() []*Task { return rt.tasks }
+
+// Execute runs prog across all tasks to completion.
+func (rt *Runtime) Execute(prog Program) (*Report, error) {
+	for _, t := range rt.tasks {
+		t := t
+		rt.Eng.Spawn(fmt.Sprintf("task%d", t.rank), func(p *sim.Proc) {
+			t.proc = p
+			defer func() {
+				if r := recover(); r != nil {
+					if re, ok := r.(*RunError); ok {
+						t.err = re
+					} else {
+						t.err = &RunError{Rank: t.rank, Err: fmt.Errorf("panic: %v", r)}
+					}
+				}
+				t.env.Close()
+				t.endAt = p.Now()
+			}()
+			prog(t)
+		})
+	}
+	simErr := rt.Eng.Run()
+	for _, t := range rt.tasks {
+		if t.err != nil {
+			return nil, t.err
+		}
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	return rt.buildReport(), nil
+}

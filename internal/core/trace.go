@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"impacc/internal/sim"
+)
+
+// Span is one traced interval of virtual time on a task's timeline.
+type Span struct {
+	Rank  int      `json:"rank"`
+	Node  int      `json:"node"`
+	Kind  string   `json:"kind"` // kernel | copy | mpi | compute | accwait
+	Name  string   `json:"name"`
+	Start sim.Time `json:"start"` // virtual nanoseconds
+	End   sim.Time `json:"end"`
+}
+
+// Tracer collects execution spans when attached via Config.Trace. The
+// engine runs one process at a time, so appends need no locking; spans are
+// in completion order.
+type Tracer struct {
+	spans []Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Spans returns the collected spans sorted by start time.
+func (tr *Tracer) Spans() []Span {
+	out := append([]Span(nil), tr.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Len reports the number of spans.
+func (tr *Tracer) Len() int { return len(tr.spans) }
+
+func (tr *Tracer) add(s Span) {
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	tr.spans = append(tr.spans, s)
+}
+
+// WriteJSON emits the spans as a JSON array.
+func (tr *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr.Spans())
+}
+
+// chromeEvent is one entry of the Chrome trace event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto. pid = node,
+// tid = rank, timestamps in microseconds of virtual time.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace emits the spans in Chrome trace event format.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(tr.spans))
+	for _, s := range tr.Spans() {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("%s:%s", s.Kind, s.Name),
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			Pid:  s.Node,
+			Tid:  s.Rank,
+		})
+	}
+	return json.NewEncoder(w).Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// span records an interval on the task's timeline when tracing is enabled.
+func (t *Task) span(kind, name string, start sim.Time) {
+	tr := t.rt.Cfg.Trace
+	if tr == nil {
+		return
+	}
+	tr.add(Span{Rank: t.rank, Node: t.pl.Node, Kind: kind, Name: name,
+		Start: start, End: t.proc.Now()})
+}

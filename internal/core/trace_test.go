@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"impacc/internal/device"
+	"impacc/internal/mpi"
+)
+
+func TestTracerCollectsAllSpanKinds(t *testing.T) {
+	tr := NewTracer()
+	cfg := psgCfg(IMPACC, 2)
+	cfg.Trace = tr
+	mustRun(t, cfg, func(tk *Task) {
+		buf := tk.Malloc(1 << 16)
+		tk.Compute(1e6)
+		tk.Kernels(device.KernelSpec{Name: "k", FLOPs: 1e8, Kind: device.KindCompute}, -1)
+		if tk.Rank() == 0 {
+			tk.Send(buf, 1024, mpi.Float64, 1, 0)
+		} else {
+			tk.Recv(buf, 1024, mpi.Float64, 0, 0)
+		}
+	})
+	kinds := map[string]int{}
+	for _, s := range tr.Spans() {
+		kinds[s.Kind]++
+		if s.End < s.Start {
+			t.Fatalf("span with negative duration: %+v", s)
+		}
+		if s.Rank < 0 || s.Rank > 1 {
+			t.Fatalf("span rank out of range: %+v", s)
+		}
+	}
+	for _, want := range []string{"kernel", "mpi", "compute"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q spans collected (got %v)", want, kinds)
+		}
+	}
+	// Spans are sorted by start.
+	spans := tr.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("spans not sorted")
+		}
+	}
+}
+
+func TestTracerJSONOutputs(t *testing.T) {
+	tr := NewTracer()
+	cfg := psgCfg(IMPACC, 1)
+	cfg.Trace = tr
+	mustRun(t, cfg, func(tk *Task) {
+		tk.Kernels(device.KernelSpec{Name: "k", FLOPs: 1e8, Kind: device.KindCompute}, -1)
+	})
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(sb.String()), &spans); err != nil {
+		t.Fatalf("JSON invalid: %v", err)
+	}
+	if len(spans) != tr.Len() {
+		t.Fatalf("round-trip lost spans: %d vs %d", len(spans), tr.Len())
+	}
+
+	sb.Reset()
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &chrome); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("no chrome events")
+	}
+	ev := chrome.TraceEvents[0]
+	if ev["ph"] != "X" || ev["name"] == "" {
+		t.Fatalf("chrome event malformed: %v", ev)
+	}
+}
+
+func TestNoTracerNoOverheadPath(t *testing.T) {
+	// Without a tracer the span hook must be a no-op (no panic, no spans).
+	mustRun(t, psgCfg(IMPACC, 1), func(tk *Task) {
+		tk.Compute(1e5)
+	})
+}

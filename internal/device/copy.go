@@ -1,0 +1,161 @@
+package device
+
+import (
+	"fmt"
+
+	"impacc/internal/sim"
+	"impacc/internal/xmem"
+)
+
+// Direction classifies a memory copy by endpoint locations, the four cases
+// of the paper's message fusion discussion (§3.7): HtoH, HtoD, DtoH, DtoD.
+type Direction int
+
+// Copy directions.
+const (
+	HtoH Direction = iota
+	HtoD
+	DtoH
+	DtoD
+)
+
+func (d Direction) String() string {
+	switch d {
+	case HtoH:
+		return "HtoH"
+	case HtoD:
+		return "HtoD"
+	case DtoH:
+		return "DtoH"
+	default:
+		return "DtoD"
+	}
+}
+
+// Classify determines the copy direction from two resolved locations.
+func Classify(dst, src xmem.Loc) Direction {
+	switch {
+	case src.Kind() == xmem.HostMem && dst.Kind() == xmem.HostMem:
+		return HtoH
+	case src.Kind() == xmem.HostMem:
+		return HtoD
+	case dst.Kind() == xmem.HostMem:
+		return DtoH
+	default:
+		return DtoD
+	}
+}
+
+// Record accumulates one finished copy into the context stats. It is
+// exported for the message hub, which performs fused copies on behalf of
+// tasks and attributes them to the receiving context.
+func (c *Context) Record(dir Direction, n int64, elapsed sim.Dur) { c.record(dir, n, elapsed) }
+
+// record accumulates one finished copy into the context stats.
+func (c *Context) record(dir Direction, n int64, elapsed sim.Dur) {
+	switch dir {
+	case HtoH:
+		c.Stats.HtoHCount++
+		c.Stats.HtoHBytes += n
+		c.Stats.HtoHTime += elapsed
+	case HtoD:
+		c.Stats.HtoDCount++
+		c.Stats.HtoDBytes += n
+		c.Stats.HtoDTime += elapsed
+	case DtoH:
+		c.Stats.DtoHCount++
+		c.Stats.DtoHBytes += n
+		c.Stats.DtoHTime += elapsed
+	case DtoD:
+		c.Stats.DtoDCount++
+		c.Stats.DtoDBytes += n
+		c.Stats.DtoDTime += elapsed
+	}
+}
+
+// Transfer performs a synchronous memory copy of n bytes from src to dst
+// within the context's address space: it charges simulated time on the
+// shared links (blocking p), moves the real bytes, and records stats. It
+// returns the direction it classified.
+//
+// Device-to-device copies between distinct devices use the direct PCIe
+// peer path when the topology allows it, otherwise they stage through host
+// memory (DtoH then HtoD), exactly the distinction Figure 14 measures.
+func (c *Context) Transfer(p *sim.Proc, dst, src xmem.Addr, n int64) (Direction, error) {
+	if n < 0 {
+		return HtoH, fmt.Errorf("device: Transfer: negative size %d", n)
+	}
+	dloc, err := c.Space.Lookup(dst)
+	if err != nil {
+		return HtoH, fmt.Errorf("device: Transfer dst: %w", err)
+	}
+	sloc, err := c.Space.Lookup(src)
+	if err != nil {
+		return HtoH, fmt.Errorf("device: Transfer src: %w", err)
+	}
+	dir := Classify(dloc, sloc)
+	start := p.Now()
+	rt := c.Dev.rt
+	switch dir {
+	case HtoH:
+		rt.Fab.HostCopy(p, rt.NodeIdx, n)
+	case HtoD:
+		rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), c.effSocket(), n, c.Pinned)
+	case DtoH:
+		rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), c.effSocket(), n, c.Pinned)
+	case DtoD:
+		if sloc.Device() == dloc.Device() {
+			// On-device DMA at device memory bandwidth (read + write).
+			p.Sleep(sim.DurFromSeconds(2 * float64(n) / (c.Dev.Spec.MemBWGBs * 1e9)))
+		} else if rt.Fab.CanP2P(rt.NodeIdx, sloc.Device(), dloc.Device()) {
+			p.SleepUntil(rt.Fab.P2PCopyAsync(rt.NodeIdx, sloc.Device(), dloc.Device(), n))
+		} else {
+			// Staged: device -> host bounce buffer -> device.
+			rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), c.effSocket(), n, c.Pinned)
+			rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), c.effSocket(), n, c.Pinned)
+		}
+	}
+	if err := c.Space.Copy(dst, src, n); err != nil {
+		return dir, err
+	}
+	c.record(dir, n, sim.Dur(p.Now()-start))
+	if c.Trace != nil {
+		c.Trace("copy", dir.String(), start, p.Now())
+	}
+	return dir, nil
+}
+
+// TransferBetween copies across two address spaces on the same node (the
+// legacy-mode inter-process path). Timing is identical to Transfer on the
+// destination context; data moves between the two backings.
+func TransferBetween(p *sim.Proc, dst *Context, dstAddr xmem.Addr, src *Context, srcAddr xmem.Addr, n int64) (Direction, error) {
+	dloc, err := dst.Space.Lookup(dstAddr)
+	if err != nil {
+		return HtoH, fmt.Errorf("device: TransferBetween dst: %w", err)
+	}
+	sloc, err := src.Space.Lookup(srcAddr)
+	if err != nil {
+		return HtoH, fmt.Errorf("device: TransferBetween src: %w", err)
+	}
+	dir := Classify(dloc, sloc)
+	start := p.Now()
+	rt := dst.Dev.rt
+	switch dir {
+	case HtoH:
+		rt.Fab.HostCopy(p, rt.NodeIdx, n)
+	case HtoD:
+		rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), dst.effSocket(), n, dst.Pinned)
+	case DtoH:
+		rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), src.effSocket(), n, src.Pinned)
+	case DtoD:
+		// Legacy processes cannot see each other's device pointers: the
+		// path is always staged through both hosts.
+		rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), src.effSocket(), n, src.Pinned)
+		rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), dst.effSocket(), n, dst.Pinned)
+	}
+	if err := xmem.CopyBetween(dst.Space, dstAddr, src.Space, srcAddr, n); err != nil {
+		return dir, err
+	}
+	dst.record(dir, n, sim.Dur(p.Now()-start))
+	return dir, nil
+}

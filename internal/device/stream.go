@@ -1,0 +1,168 @@
+package device
+
+import (
+	"fmt"
+
+	"impacc/internal/sim"
+	"impacc/internal/xmem"
+)
+
+// Stream is an in-order device activity queue (an OpenACC async queue / CUDA
+// stream / OpenCL command queue, paper §3.6). Operations enqueued on one
+// stream complete in order; operations on different streams proceed
+// independently and complete in any order.
+type Stream struct {
+	ID  int
+	Ctx *Context
+
+	q        *sim.Queue
+	proc     *sim.Proc
+	closed   bool
+	lastDone *sim.Event
+	pending  int
+}
+
+// streamOp is one queue entry.
+type streamOp struct {
+	name     string
+	run      func(p *sim.Proc) // nil for poison (close)
+	done     *sim.Event
+	callback func(at sim.Time)
+}
+
+// NewStream creates an activity queue on the context's device and starts
+// its simulation process. Streams must be Closed when the owning task
+// finishes, or the engine reports them as deadlocked processes.
+func (c *Context) NewStream(id int) *Stream {
+	eng := c.Dev.rt.Eng
+	s := &Stream{ID: id, Ctx: c, q: eng.NewQueue(fmt.Sprintf("stream%d", id))}
+	done := eng.NewEvent("stream-init")
+	done.Fire()
+	s.lastDone = done
+	s.proc = eng.Spawn(fmt.Sprintf("%s/dev%d/q%d", c.Dev.rt.Spec.Name, c.Dev.Index, id), s.loop)
+	c.Dev.streams = append(c.Dev.streams, s)
+	return s
+}
+
+func (s *Stream) loop(p *sim.Proc) {
+	for {
+		op := s.q.Get(p).(*streamOp)
+		if op.run == nil {
+			op.done.Fire()
+			return
+		}
+		op.run(p)
+		s.pending--
+		op.done.Fire()
+		if op.callback != nil {
+			op.callback(p.Now())
+		}
+	}
+}
+
+// enqueue adds an operation and returns its completion event.
+func (s *Stream) enqueue(name string, run func(p *sim.Proc), cb func(at sim.Time)) *sim.Event {
+	if s.closed {
+		panic("device: enqueue on closed stream")
+	}
+	done := s.Ctx.Dev.rt.Eng.NewEvent("op:" + name)
+	s.q.Put(&streamOp{name: name, run: run, done: done, callback: cb})
+	s.lastDone = done
+	s.pending++
+	return done
+}
+
+// EnqueueCopy schedules an asynchronous memory copy (cuMemcpyAsync /
+// clEnqueue{Read,Write}Buffer with CL_NON_BLOCKING) and returns its
+// completion event.
+func (s *Stream) EnqueueCopy(dst, src xmem.Addr, n int64) *sim.Event {
+	return s.enqueue("copy", func(p *sim.Proc) {
+		if _, err := s.Ctx.Transfer(p, dst, src, n); err != nil {
+			panic(fmt.Sprintf("stream copy: %v", err))
+		}
+	}, nil)
+}
+
+// EnqueueCopyWithCallback is EnqueueCopy plus a completion callback, the
+// cuStreamAddCallback pattern the runtime uses for fully asynchronous
+// internode sends (paper §3.7).
+func (s *Stream) EnqueueCopyWithCallback(dst, src xmem.Addr, n int64, cb func(at sim.Time)) *sim.Event {
+	return s.enqueue("copy+cb", func(p *sim.Proc) {
+		if _, err := s.Ctx.Transfer(p, dst, src, n); err != nil {
+			panic(fmt.Sprintf("stream copy: %v", err))
+		}
+	}, cb)
+}
+
+// EnqueueKernel schedules a kernel launch. The device compute resource
+// serializes kernels from all streams of the device; the kernel's Body (if
+// any) executes at completion so data results are real.
+func (s *Stream) EnqueueKernel(k KernelSpec) *sim.Event {
+	return s.enqueue("kernel:"+k.Name, func(p *sim.Proc) {
+		dur := Duration(s.Ctx.Dev.Spec, k)
+		start := s.Ctx.Dev.compute.Use(p, dur, 0)
+		if k.Body != nil {
+			k.Body()
+		}
+		s.Ctx.Stats.KernelCount++
+		s.Ctx.Stats.KernelTime += dur
+		if s.Ctx.Trace != nil {
+			s.Ctx.Trace("kernel", k.Name, start, start+sim.Time(dur))
+		}
+	}, nil)
+}
+
+// EnqueueFunc schedules an arbitrary operation on the stream. The IMPACC
+// unified activity queue (paper §3.6) uses this to place MPI non-blocking
+// communication calls in the same in-order queue as kernels and copies.
+func (s *Stream) EnqueueFunc(name string, fn func(p *sim.Proc)) *sim.Event {
+	return s.enqueue(name, fn, nil)
+}
+
+// AddCallback schedules fn to run after all currently enqueued work
+// (cuStreamAddCallback semantics).
+func (s *Stream) AddCallback(fn func(at sim.Time)) {
+	s.enqueue("callback", func(p *sim.Proc) {}, fn)
+}
+
+// Sync blocks p until every operation enqueued so far has completed
+// (#pragma acc wait on this queue).
+func (s *Stream) Sync(p *sim.Proc) {
+	s.lastDone.Wait(p)
+}
+
+// Pending reports the number of queued-but-unfinished operations.
+func (s *Stream) Pending() int { return s.pending }
+
+// Close shuts the stream process down after draining queued work. Safe to
+// call twice.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	done := s.Ctx.Dev.rt.Eng.NewEvent("stream-close")
+	s.q.Put(&streamOp{done: done})
+}
+
+// CloseAll closes every stream created on the runtime's devices.
+func (rt *Runtime) CloseAll() {
+	for _, d := range rt.Devices {
+		for _, s := range d.streams {
+			s.Close()
+		}
+	}
+}
+
+// EnqueueWaitEvent makes this stream wait for ev before running later
+// operations (cuStreamWaitEvent / clEnqueueBarrierWithWaitList): the
+// cross-stream dependency primitive behind "#pragma acc wait(q) async(r)".
+func (s *Stream) EnqueueWaitEvent(ev *sim.Event) *sim.Event {
+	return s.enqueue("wait-event", func(p *sim.Proc) {
+		ev.Wait(p)
+	}, nil)
+}
+
+// Done returns the completion event of the last operation enqueued so far
+// (cuEventRecord at the current tail).
+func (s *Stream) Done() *sim.Event { return s.lastDone }

@@ -1,0 +1,72 @@
+// Package mpsc implements the in-order, lock-free, multi-producer
+// single-consumer queue used between task threads and the per-node message
+// handler thread (paper §3.7: "two in-order and lock-free multi-producer
+// (task threads) single-consumer (message handler thread) queues, called
+// intra-node message queue and pending internode message queue").
+//
+// The implementation is an intrusive linked queue in the style of Vyukov's
+// MPSC algorithm: producers perform one atomic swap per push and never
+// block; the single consumer pops without atomics on its own tail pointer.
+// Per-producer FIFO order is preserved, and the global order is the
+// linearization of the producers' swaps.
+package mpsc
+
+import "sync/atomic"
+
+type node[T any] struct {
+	next atomic.Pointer[node[T]]
+	val  T
+}
+
+// Queue is a lock-free MPSC queue. The zero value is not usable; call New.
+// Any number of goroutines may Push concurrently; exactly one goroutine may
+// Pop.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]] // producers swap here
+	tail *node[T]                // consumer-owned
+	size atomic.Int64
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	stub := &node[T]{}
+	q.head.Store(stub)
+	q.tail = stub
+	return q
+}
+
+// Push enqueues v. It is wait-free apart from one atomic swap and never
+// blocks, matching the paper's requirement that task threads shift work to
+// the handler without contending on a lock.
+func (q *Queue[T]) Push(v T) {
+	n := &node[T]{val: v}
+	prev := q.head.Swap(n)
+	prev.next.Store(n)
+	q.size.Add(1)
+}
+
+// Pop dequeues the oldest element. Only the single consumer may call it.
+// It returns ok=false when the queue is empty (or momentarily when a
+// producer has swapped head but not yet linked next; the element becomes
+// visible on a later call).
+func (q *Queue[T]) Pop() (T, bool) {
+	tail := q.tail
+	next := tail.next.Load()
+	if next == nil {
+		var zero T
+		return zero, false
+	}
+	q.tail = next
+	v := next.val
+	var zero T
+	next.val = zero // release reference
+	q.size.Add(-1)
+	return v, true
+}
+
+// Len reports the approximate number of queued elements.
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }
+
+// Empty reports whether the consumer currently sees no elements.
+func (q *Queue[T]) Empty() bool { return q.tail.next.Load() == nil }

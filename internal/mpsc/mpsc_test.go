@@ -1,0 +1,153 @@
+package mpsc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty returned ok")
+	}
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("empty queue state wrong")
+	}
+}
+
+func TestSingleThreadFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 || q.Empty() {
+		t.Fatalf("len = %d, empty = %v", q.Len(), q.Empty())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := New[string]()
+	q.Push("a")
+	q.Push("b")
+	if v, _ := q.Pop(); v != "a" {
+		t.Fatal("order wrong")
+	}
+	q.Push("c")
+	if v, _ := q.Pop(); v != "b" {
+		t.Fatal("order wrong")
+	}
+	if v, _ := q.Pop(); v != "c" {
+		t.Fatal("order wrong")
+	}
+}
+
+// TestConcurrentProducersFIFOPerProducer drives the queue with real
+// parallelism: per-producer order must hold, and no element may be lost or
+// duplicated.
+func TestConcurrentProducersFIFOPerProducer(t *testing.T) {
+	const producers = 8
+	const perProducer = 5000
+	type item struct{ producer, seq int }
+	q := New[item]()
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(item{pr, i})
+			}
+		}(pr)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	got := 0
+	for got < producers*perProducer {
+		v, ok := q.Pop()
+		if !ok {
+			select {
+			case <-done:
+				// Producers finished; drain what remains.
+				if v, ok = q.Pop(); !ok {
+					continue
+				}
+			default:
+				continue
+			}
+		}
+		if v.seq != lastSeq[v.producer]+1 {
+			t.Fatalf("producer %d: seq %d after %d", v.producer, v.seq, lastSeq[v.producer])
+		}
+		lastSeq[v.producer] = v.seq
+		got++
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("extra elements after full drain")
+	}
+}
+
+// Property: single-threaded push/pop sequences match a slice model.
+func TestMatchesSliceModelProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New[uint8]()
+		var model []uint8
+		for _, op := range ops {
+			if op%3 == 0 && len(model) > 0 {
+				v, ok := q.Pop()
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			} else {
+				q.Push(op)
+				model = append(model, op)
+			}
+		}
+		for _, want := range model {
+			v, ok := q.Pop()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkContendedPush(b *testing.B) {
+	q := New[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Push(1)
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package msg implements IMPACC's communication engine (paper §3.7, §3.8):
+// the per-node message handler thread, the in-order lock-free MPSC command
+// queues between task threads and the handler, FIFO message matching, the
+// message fusion technique (a matched intra-node send/recv pair becomes one
+// HtoH/HtoD/DtoH/DtoD copy), direct device-to-device copies over a shared
+// PCIe root complex, node heap aliasing for read-only producer-consumer
+// pairs, and the internode paths (GPUDirect RDMA or pinned-buffer staging).
+//
+// The same hub also runs the legacy MPI+OpenACC baseline: tasks are then
+// OS processes with private address spaces, intra-node transport stages
+// through shared memory with a redundant host-to-host copy, and device
+// buffers are not accepted (applications stage them explicitly).
+package msg
+
+import (
+	"fmt"
+
+	"impacc/internal/device"
+	"impacc/internal/mpsc"
+	"impacc/internal/sim"
+	"impacc/internal/topo"
+	"impacc/internal/xmem"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Endpoint is one task's communication identity: its rank, node, address
+// space (shared per node under IMPACC, private per task under legacy), and
+// device context.
+type Endpoint struct {
+	Rank  int
+	Node  int
+	Space *xmem.Space
+	Ctx   *device.Context
+}
+
+// Config selects the hub's behaviour. The defaults for each mode live in
+// the core runtime; individual features toggle independently for ablation
+// benchmarks.
+type Config struct {
+	// Legacy switches the hub to the MPI+OpenACC baseline transport.
+	Legacy bool
+	// Fusion enables the message fusion technique (IMPACC).
+	Fusion bool
+	// Aliasing enables node heap aliasing (IMPACC).
+	Aliasing bool
+	// RDMA enables GPUDirect-RDMA internode transfers from/to device
+	// memory without host staging, where the fabric supports it.
+	RDMA bool
+	// DirectP2P enables direct DtoD copies over a shared root complex.
+	DirectP2P bool
+	// ThreadMultiple mirrors the underlying MPI library's threading
+	// support; when false, internode calls from one node serialize.
+	ThreadMultiple bool
+
+	// CmdOverhead is the task-side cost of creating a message command
+	// and enqueuing it (IMPACC intra-node path).
+	CmdOverhead sim.Dur
+	// HandlerOverhead is the handler-side cost per processed command.
+	HandlerOverhead sim.Dur
+	// AliasOverhead is the cost of applying node heap aliasing.
+	AliasOverhead sim.Dur
+	// MPIOverhead is the per-call cost of the underlying MPI library.
+	MPIOverhead sim.Dur
+}
+
+// Cmd is one send or receive command. Task threads create commands and
+// enqueue them; the handler matches pairs and completes them.
+type Cmd struct {
+	IsSend bool
+	Src    int // sender rank (AnySource allowed on receives)
+	Dst    int // receiver rank
+	Tag    int // message tag (AnyTag allowed on receives)
+	Comm   int // communicator context id (0 = MPI_COMM_WORLD)
+	Addr   xmem.Addr
+	Bytes  int64
+	Ep     *Endpoint
+	// ReadOnly carries the IMPACC directive's readonly attribute
+	// (#pragma acc mpi sendbuf(readonly) / recvbuf(readonly)).
+	ReadOnly bool
+	// Done fires when the operation completes (buffer reusable).
+	Done *sim.Event
+	// Aliased reports (after completion) that node heap aliasing served
+	// this pair with zero copies.
+	Aliased bool
+	// Err records a completion error; inspect after Done fires.
+	Err error
+	// MatchedSrc/MatchedTag/MatchedBytes record, on a completed receive,
+	// which message satisfied it (MPI_Status.MPI_SOURCE / MPI_TAG and the
+	// received size) — meaningful for wildcard receives.
+	MatchedSrc, MatchedTag int
+	MatchedBytes           int64
+
+	snapshot []byte // eager-buffered data for internode sends
+}
+
+// matches reports whether receive r accepts send s. Matching is scoped to
+// the communicator context: wildcards never cross communicators.
+func (r *Cmd) matches(s *Cmd) bool {
+	if r.Comm != s.Comm {
+		return false
+	}
+	if r.Dst != s.Dst {
+		return false
+	}
+	if r.Src != AnySource && r.Src != s.Src {
+		return false
+	}
+	if r.Tag != AnyTag && r.Tag != s.Tag {
+		return false
+	}
+	return true
+}
+
+// netMsg is an internode message arriving at the destination node: the
+// entry unit of the pending internode message queue.
+type netMsg struct {
+	Src, Dst, Tag int
+	Comm          int
+	Bytes         int64
+	SrcEp         *Endpoint
+	SrcAddr       xmem.Addr
+	snapshot      []byte
+	// direct marks a GPUDirect RDMA transfer that has already landed in
+	// device memory (no receive-side staging copy).
+	direct bool
+}
+
+// Stats are the hub's counters, used by the Figure 6/7 experiments and the
+// run report.
+type Stats struct {
+	IntraMsgs    uint64 // intra-node commands processed
+	NetIn        uint64 // internode messages received
+	NetOut       uint64 // internode messages sent
+	FusedCopies  uint64 // matched pairs served by one fused copy
+	LegacyCopies uint64 // legacy shared-memory transport copies
+	Aliases      uint64 // pairs served by node heap aliasing
+	RDMADirect   uint64 // internode transfers using GPUDirect RDMA
+	Staged       uint64 // internode transfers staged through host memory
+}
+
+// Hub is the per-node message engine. Under IMPACC it embodies the single
+// message handler thread of Figure 1; under legacy it stands in for the
+// underlying MPI library's shared-memory transport.
+type Hub struct {
+	Eng   *sim.Engine
+	Fab   *topo.Fabric
+	Node  int
+	Cfg   Config
+	Heap  *xmem.HeapTable
+	Stats Stats
+
+	intraQ   *mpsc.Queue[*Cmd]    // intra-node message queue
+	pendingQ *mpsc.Queue[*netMsg] // pending internode message queue
+	// handlerCPU serializes the single message handler thread's per-command
+	// processing time: commands from every task queue up on it in FIFO
+	// order, exactly like the paper's single consumer thread.
+	handlerCPU *sim.FIFOResource
+
+	sends   []*Cmd
+	recvs   []*Cmd
+	arrived []*netMsg
+
+	serial *sim.Semaphore // internode serialization without THREAD_MULTIPLE
+}
+
+// NewHub creates the node's message engine.
+func NewHub(eng *sim.Engine, fab *topo.Fabric, node int, cfg Config, heap *xmem.HeapTable) *Hub {
+	h := &Hub{
+		Eng: eng, Fab: fab, Node: node, Cfg: cfg, Heap: heap,
+		intraQ:     mpsc.New[*Cmd](),
+		pendingQ:   mpsc.New[*netMsg](),
+		handlerCPU: eng.NewFIFOResource(fmt.Sprintf("%s/handler", fab.Sys.Nodes[node].Name)),
+	}
+	if !cfg.ThreadMultiple {
+		h.serial = eng.NewSemaphore(1, fmt.Sprintf("hub%d-serial", node))
+	}
+	return h
+}
+
+// dispatch schedules the handler thread to consume the next queued item
+// after its per-command processing time.
+func (h *Hub) dispatch(net bool) {
+	_, end := h.handlerCPU.UseAsync(h.Cfg.HandlerOverhead)
+	h.Eng.At(end, func() {
+		if net {
+			if m, ok := h.pendingQ.Pop(); ok {
+				h.handleNet(m)
+			}
+			return
+		}
+		if cmd, ok := h.intraQ.Pop(); ok {
+			h.handleCmd(cmd)
+		}
+	})
+}
+
+// HandlerBusy reports the handler thread's accumulated processing time.
+func (h *Hub) HandlerBusy() sim.Dur { return h.handlerCPU.BusyTime }
+
+// PostIntra submits an intra-node command from the calling task (or stream)
+// process. The task pays the command-creation overhead; the handler does
+// the rest (paper §3.7: "the task threads shift their intra-node
+// communication onto the communication thread by inserting message commands
+// into the intra-node message queues").
+func (h *Hub) PostIntra(p *sim.Proc, cmd *Cmd) {
+	over := h.Cfg.CmdOverhead
+	if h.Cfg.Legacy {
+		over = h.Cfg.MPIOverhead
+	}
+	if over > 0 {
+		p.Sleep(over)
+	}
+	h.Stats.IntraMsgs++
+	h.intraQ.Push(cmd)
+	h.dispatch(false)
+}
+
+func (h *Hub) handleCmd(cmd *Cmd) {
+	if cmd.IsSend {
+		for i, r := range h.recvs {
+			if r.matches(cmd) {
+				h.recvs = append(h.recvs[:i], h.recvs[i+1:]...)
+				h.completePair(cmd, r)
+				return
+			}
+		}
+		h.sends = append(h.sends, cmd)
+		return
+	}
+	// Receive: first try pending intra sends, then arrived internode
+	// messages (distinct source ranks; FIFO within each origin).
+	for i, s := range h.sends {
+		if cmd.matches(s) {
+			h.sends = append(h.sends[:i], h.sends[i+1:]...)
+			h.completePair(s, cmd)
+			return
+		}
+	}
+	for i, m := range h.arrived {
+		if cmd.matchesNet(m) {
+			h.arrived = append(h.arrived[:i], h.arrived[i+1:]...)
+			h.completeNet(m, cmd)
+			return
+		}
+	}
+	h.recvs = append(h.recvs, cmd)
+}
+
+func (r *Cmd) matchesNet(m *netMsg) bool {
+	if r.Comm != m.Comm {
+		return false
+	}
+	if r.Dst != m.Dst {
+		return false
+	}
+	if r.Src != AnySource && r.Src != m.Src {
+		return false
+	}
+	if r.Tag != AnyTag && r.Tag != m.Tag {
+		return false
+	}
+	return true
+}
+
+// runChain executes cost stages back to back: each stage is invoked at the
+// completion time of the previous one and returns its own completion time.
+// done runs after the final stage.
+func (h *Hub) runChain(stages []func() sim.Time, done func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i == len(stages) {
+			done()
+			return
+		}
+		end := stages[i]()
+		h.Eng.At(end, func() { step(i + 1) })
+	}
+	step(0)
+}
+
+func (h *Hub) fail(send, recv *Cmd, err error) {
+	if send != nil {
+		send.Err = err
+		send.Done.Fire()
+	}
+	if recv != nil {
+		recv.Err = err
+		recv.Done.Fire()
+	}
+}
+
+// completePair serves a matched intra-node send/receive pair: node heap
+// aliasing when every requirement holds, otherwise one fused copy (IMPACC)
+// or the legacy staged transport.
+func (h *Hub) completePair(send, recv *Cmd) {
+	if recv.Bytes < send.Bytes {
+		h.fail(send, recv, fmt.Errorf("msg: truncation: recv %d bytes < send %d", recv.Bytes, send.Bytes))
+		return
+	}
+	recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = send.Src, send.Tag, send.Bytes
+	if send.Bytes == 0 {
+		// Zero-byte message: synchronization only, nothing to move.
+		at := h.Eng.Now() + sim.Time(h.Cfg.AliasOverhead)
+		recv.MatchedBytes = 0
+		h.Eng.At(at, func() {
+			send.Done.Fire()
+			recv.Done.Fire()
+		})
+		return
+	}
+	if h.tryAlias(send, recv) {
+		return
+	}
+	n := send.Bytes
+	dloc, err := recv.Ep.Space.Lookup(recv.Addr)
+	if err != nil {
+		h.fail(send, recv, err)
+		return
+	}
+	sloc, err := send.Ep.Space.Lookup(send.Addr)
+	if err != nil {
+		h.fail(send, recv, err)
+		return
+	}
+	dir := device.Classify(dloc, sloc)
+	start := h.Eng.Now()
+
+	var stages []func() sim.Time
+	if h.Cfg.Legacy {
+		// Figure 6 (a): inter-process transport with a redundant
+		// host-to-host copy — send buffer -> shm segment -> recv buffer.
+		stages = append(stages,
+			func() sim.Time { return h.Fab.ShmCopyAsync(h.Node, n) },
+			func() sim.Time { return h.Fab.ShmCopyAsync(h.Node, n) },
+		)
+		h.Stats.LegacyCopies += 2
+	} else {
+		stages = h.fusedStages(dir, dloc, sloc, n)
+		h.Stats.FusedCopies++
+	}
+	h.runChain(stages, func() {
+		if err := xmem.CopyBetween(recv.Ep.Space, recv.Addr, send.Ep.Space, send.Addr, n); err != nil {
+			h.fail(send, recv, err)
+			return
+		}
+		elapsed := sim.Dur(h.Eng.Now() - start)
+		recv.Ep.Ctx.Record(dir, n, elapsed)
+		send.Done.Fire()
+		recv.Done.Fire()
+	})
+}
+
+// fusedStages builds the cost chain for an IMPACC fused copy (Figure 6 b/c).
+func (h *Hub) fusedStages(dir device.Direction, dloc, sloc xmem.Loc, n int64) []func() sim.Time {
+	switch dir {
+	case device.HtoH:
+		return []func() sim.Time{func() sim.Time { return h.Fab.HostCopyAsync(h.Node, n) }}
+	case device.HtoD:
+		d := dloc.Device()
+		return []func() sim.Time{func() sim.Time { return h.Fab.PCIeCopyAsync(h.Node, d, -1, n, true) }}
+	case device.DtoH:
+		d := sloc.Device()
+		return []func() sim.Time{func() sim.Time { return h.Fab.PCIeCopyAsync(h.Node, d, -1, n, true) }}
+	default: // DtoD
+		sd, dd := sloc.Device(), dloc.Device()
+		if sd == dd {
+			bw := h.Fab.Sys.Nodes[h.Node].Devices[sd].MemBWGBs
+			return []func() sim.Time{func() sim.Time {
+				return h.Eng.Now() + sim.Time(sim.DurFromSeconds(2*float64(n)/(bw*1e9)))
+			}}
+		}
+		if h.Cfg.DirectP2P && h.Fab.CanP2P(h.Node, sd, dd) {
+			// Direct transfer between devices over PCIe without CPU or
+			// system memory involvement (GPUDirect / DirectGMA).
+			return []func() sim.Time{func() sim.Time { return h.Fab.P2PCopyAsync(h.Node, sd, dd, n) }}
+		}
+		return []func() sim.Time{
+			func() sim.Time { return h.Fab.PCIeCopyAsync(h.Node, sd, -1, n, true) },
+			func() sim.Time { return h.Fab.PCIeCopyAsync(h.Node, dd, -1, n, true) },
+		}
+	}
+}
+
+// tryAlias applies node heap aliasing when the five requirements of §3.8
+// hold: same node (implied intra), both buffers in host heap memory, both
+// calls carry the readonly attribute, the receive buffer is a whole heap
+// allocation (no prior interior pointers), and the receive is fully
+// overwritten (sizes equal).
+func (h *Hub) tryAlias(send, recv *Cmd) bool {
+	if h.Cfg.Legacy || !h.Cfg.Aliasing || h.Heap == nil {
+		return false
+	}
+	if !send.ReadOnly || !recv.ReadOnly {
+		return false
+	}
+	if send.Bytes != recv.Bytes {
+		return false
+	}
+	sloc, err := send.Ep.Space.Lookup(send.Addr)
+	if err != nil || sloc.Kind() != xmem.HostMem {
+		return false
+	}
+	rloc, err := recv.Ep.Space.Lookup(recv.Addr)
+	if err != nil || rloc.Kind() != xmem.HostMem {
+		return false
+	}
+	sendEnt, ok := h.Heap.Containing(send.Addr)
+	if !ok || send.Addr+xmem.Addr(send.Bytes) > sendEnt.Base+xmem.Addr(sendEnt.Size) {
+		return false
+	}
+	recvEnt, ok := h.Heap.At(recv.Addr)
+	if !ok || recvEnt.Size != recv.Bytes {
+		return false
+	}
+	// Apply: alias the receive allocation onto the send data, retire the
+	// receive heap, bump the send heap's reference count (Figure 7).
+	if err := recv.Ep.Space.Alias(recv.Addr, send.Addr); err != nil {
+		return false
+	}
+	if _, err := h.Heap.Share(send.Addr); err != nil {
+		return false
+	}
+	h.Heap.Drop(recv.Addr)
+	h.Stats.Aliases++
+	send.Aliased, recv.Aliased = true, true
+	at := h.Eng.Now() + sim.Time(h.Cfg.AliasOverhead)
+	h.Eng.At(at, func() {
+		send.Done.Fire()
+		recv.Done.Fire()
+	})
+	return true
+}
+
+// Probe reports whether a message matching (src, tag, comm) destined for
+// dst is available without consuming it, returning its size. It checks
+// pending intra-node sends and arrived internode messages — the state an
+// MPI_Iprobe would see.
+func (h *Hub) Probe(dst, src, tag, comm int) (bool, int64) {
+	probe := &Cmd{Src: src, Dst: dst, Tag: tag, Comm: comm}
+	for _, s := range h.sends {
+		if probe.matches(s) {
+			return true, s.Bytes
+		}
+	}
+	for _, m := range h.arrived {
+		if probe.matchesNet(m) {
+			return true, m.Bytes
+		}
+	}
+	return false, 0
+}

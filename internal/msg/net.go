@@ -1,0 +1,216 @@
+package msg
+
+import (
+	"fmt"
+
+	"impacc/internal/device"
+	"impacc/internal/sim"
+	"impacc/internal/xmem"
+)
+
+// PostNetSend initiates an internode send from the calling process toward
+// dst's hub. The caller pays the underlying-MPI call overhead (serialized
+// per node when the library lacks MPI_THREAD_MULTIPLE, paper §3.7); the
+// transfer itself progresses asynchronously and cmd.Done fires when the
+// local buffer is reusable.
+//
+// Device-memory sends use GPUDirect RDMA when both NICs support it ("the
+// runtime exploits it and transfers data directly from the device memory to
+// a network adapter without staging through host memory"); otherwise the
+// runtime stages through its pre-pinned host buffer with an asynchronous
+// device-to-host copy chained to the network injection — the
+// cuStreamAddCallback pattern of §3.7.
+func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
+	locked := false
+	if h.serial != nil {
+		h.serial.Acquire(p)
+		locked = true
+	}
+	unlock := func() {
+		if locked {
+			h.serial.Release()
+			locked = false
+		}
+	}
+	if h.Cfg.MPIOverhead > 0 {
+		p.Sleep(h.Cfg.MPIOverhead)
+	}
+	if cmd.Bytes == 0 {
+		// Zero-byte message: a bare network round of latency only.
+		unlock()
+		h.Stats.NetOut++
+		end := h.Fab.NetSendAsync(h.Node, dst.Node, 0)
+		m := &netMsg{Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, SrcEp: cmd.Ep}
+		h.Eng.At(end, func() {
+			cmd.Done.Fire()
+			dst.deliver(m)
+		})
+		return
+	}
+	sloc, err := cmd.Ep.Space.Lookup(cmd.Addr)
+	if err != nil {
+		unlock()
+		cmd.Err = err
+		cmd.Done.Fire()
+		return
+	}
+	onDevice := sloc.Kind() == xmem.DeviceMem
+	if onDevice && h.Cfg.Legacy {
+		unlock()
+		cmd.Err = fmt.Errorf("msg: legacy MPI cannot send device memory; stage with acc update")
+		cmd.Done.Fire()
+		return
+	}
+	n := cmd.Bytes
+	// Eager-buffer the payload so the sender may reuse its buffer the
+	// moment Done fires.
+	if b, err := cmd.Ep.Space.Bytes(cmd.Addr, n); err == nil && b != nil {
+		cmd.snapshot = append([]byte(nil), b...)
+	}
+
+	direct := onDevice && h.Cfg.RDMA && h.Fab.RDMACapable(h.Node, dst.Node)
+	staged := onDevice && !direct
+	var stages []func() sim.Time
+	if staged {
+		// Without MPI_THREAD_MULTIPLE the library's internal staging copy
+		// is part of the serialized call (paper §3.7): hold the lock
+		// until the device-to-host stage completes.
+		dev := sloc.Device()
+		stage := func() sim.Time {
+			end := h.Fab.PCIeCopyAsync(h.Node, dev, -1, n, true)
+			if locked {
+				held := h.serial
+				locked = false
+				h.Eng.At(end, held.Release)
+			}
+			return end
+		}
+		stages = append(stages, stage)
+		h.Stats.Staged++
+	}
+	if direct {
+		h.Stats.RDMADirect++
+	}
+	if !staged {
+		unlock() // host-memory and RDMA sends release the call lock here
+	}
+	srcNode, dstNode := h.Node, dst.Node
+	stages = append(stages, func() sim.Time {
+		return h.Fab.NetSendAsync(srcNode, dstNode, n)
+	})
+	h.Stats.NetOut++
+	m := &netMsg{
+		Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, Bytes: n,
+		SrcEp: cmd.Ep, SrcAddr: cmd.Addr, snapshot: cmd.snapshot,
+		direct: direct,
+	}
+	h.runChain(stages, func() {
+		cmd.Done.Fire()
+		dst.deliver(m)
+	})
+}
+
+// deliver places an arrived internode message on the pending internode
+// message queue and wakes the handler.
+func (h *Hub) deliver(m *netMsg) {
+	h.pendingQ.Push(m)
+	h.dispatch(true)
+}
+
+// PostNetRecv submits a receive for an internode (or any-source) message.
+// The caller pays the MPI call overhead; matching happens in the handler.
+func (h *Hub) PostNetRecv(p *sim.Proc, cmd *Cmd) {
+	if h.serial != nil {
+		h.serial.Acquire(p)
+	}
+	if h.Cfg.MPIOverhead > 0 {
+		p.Sleep(h.Cfg.MPIOverhead)
+	}
+	if h.serial != nil {
+		h.serial.Release()
+	}
+	h.intraQ.Push(cmd)
+	h.dispatch(false)
+}
+
+// handleNet matches an arrived internode message against posted receives,
+// or parks it with the unexpected messages.
+func (h *Hub) handleNet(m *netMsg) {
+	for i, r := range h.recvs {
+		if r.matchesNet(m) {
+			h.recvs = append(h.recvs[:i], h.recvs[i+1:]...)
+			h.completeNet(m, r)
+			return
+		}
+	}
+	h.arrived = append(h.arrived, m)
+}
+
+// completeNet finishes an internode receive: an HtoD staging copy when the
+// receive buffer is device memory and the transfer was not GPUDirect
+// ("When a pending command completes its non-blocking communication, the
+// message handler thread calls cuMemcpyAsync ... to write data to the
+// device memory"), then the payload lands and Done fires.
+func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
+	if recv.Bytes < m.Bytes {
+		h.fail(nil, recv, fmt.Errorf("msg: truncation: recv %d bytes < message %d", recv.Bytes, m.Bytes))
+		return
+	}
+	recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, m.Bytes
+	if m.Bytes == 0 {
+		recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, 0
+		h.Stats.NetIn++
+		recv.Done.Fire()
+		return
+	}
+	dloc, err := recv.Ep.Space.Lookup(recv.Addr)
+	if err != nil {
+		h.fail(nil, recv, err)
+		return
+	}
+	onDevice := dloc.Kind() == xmem.DeviceMem
+	if onDevice && h.Cfg.Legacy {
+		h.fail(nil, recv, fmt.Errorf("msg: legacy MPI cannot receive into device memory"))
+		return
+	}
+	n := m.Bytes
+	start := h.Eng.Now()
+	var stages []func() sim.Time
+	if onDevice && !m.direct {
+		dev := dloc.Device()
+		stages = append(stages, func() sim.Time {
+			return h.Fab.PCIeCopyAsync(h.Node, dev, -1, n, true)
+		})
+		h.Stats.Staged++
+	}
+	h.Stats.NetIn++
+	h.runChain(stages, func() {
+		if err := h.landPayload(m, recv, n); err != nil {
+			h.fail(nil, recv, err)
+			return
+		}
+		dir := device.HtoH
+		if onDevice {
+			dir = device.HtoD
+		}
+		recv.Ep.Ctx.Record(dir, n, sim.Dur(h.Eng.Now()-start))
+		recv.Done.Fire()
+	})
+}
+
+// landPayload writes the message data into the receive buffer, preferring
+// the eager snapshot and falling back to the live source space.
+func (h *Hub) landPayload(m *netMsg, recv *Cmd, n int64) error {
+	db, err := recv.Ep.Space.Bytes(recv.Addr, n)
+	if err != nil {
+		return err
+	}
+	if db == nil {
+		return nil // unbacked: timing-only run
+	}
+	if m.snapshot != nil {
+		copy(db, m.snapshot)
+		return nil
+	}
+	return xmem.CopyBetween(recv.Ep.Space, recv.Addr, m.SrcEp.Space, m.SrcAddr, n)
+}

@@ -1,0 +1,274 @@
+package sim
+
+// Synchronization primitives for simulation processes. All of them follow
+// the engine's determinism rule: waiters are woken in FIFO order via
+// scheduled events, never by running inline.
+
+// Event is a one-shot broadcast: processes block in Wait until Fire, after
+// which Wait returns immediately forever.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+	onFire  []func()
+	why     string
+}
+
+// NewEvent returns an unfired event. why labels deadlock diagnostics.
+func (e *Engine) NewEvent(why string) *Event {
+	return &Event{eng: e, why: why}
+}
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event and wakes all waiters in arrival order. Firing twice
+// is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.eng.wake(p, ev.eng.now)
+	}
+	ev.waiters = nil
+	cbs := ev.onFire
+	ev.onFire = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// OnFire registers fn to run when the event fires (immediately if it
+// already has). Callbacks run in engine context before waiters resume.
+func (ev *Event) OnFire(fn func()) {
+	if ev.fired {
+		fn()
+		return
+	}
+	ev.onFire = append(ev.onFire, fn)
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park("event:" + ev.why)
+}
+
+// Cond is a reusable wait list: Wait blocks until a later WakeOne/WakeAll.
+// Unlike sync.Cond there is no lock: the engine's single-runner rule makes
+// check-then-wait atomic.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+	why     string
+}
+
+// NewCond returns an empty condition.
+func (e *Engine) NewCond(why string) *Cond { return &Cond{eng: e, why: why} }
+
+// Wait blocks p until woken.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond:" + c.why)
+}
+
+// WakeOne wakes the longest-waiting process, if any, and reports whether one
+// was woken.
+func (c *Cond) WakeOne() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.eng.wake(p, c.eng.now)
+	return true
+}
+
+// WakeAll wakes every waiting process in arrival order.
+func (c *Cond) WakeAll() {
+	for _, p := range c.waiters {
+		c.eng.wake(p, c.eng.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiting reports the number of blocked processes.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Semaphore is a counting semaphore with FIFO acquisition order.
+type Semaphore struct {
+	eng     *Engine
+	avail   int
+	waiters []*Proc
+	why     string
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func (e *Engine) NewSemaphore(n int, why string) *Semaphore {
+	return &Semaphore{eng: e, avail: n, why: why}
+}
+
+// Acquire takes one permit, blocking p until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park("sem:" + s.why)
+	// The releaser transferred a permit directly to us.
+}
+
+// Release returns one permit, waking the longest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		s.eng.wake(p, s.eng.now)
+		return
+	}
+	s.avail++
+}
+
+// Available reports the current number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// FIFOResource models a serialized service center such as a PCIe link, a
+// QPI hop, a NIC, or a memory channel: requests occupy it back to back in
+// arrival order. It tracks the time the resource becomes free rather than
+// running its own process, which keeps large topologies cheap.
+type FIFOResource struct {
+	eng    *Engine
+	freeAt Time
+	// BusyTime accumulates total occupied time, for utilization reports.
+	BusyTime Dur
+	// Uses counts completed occupations.
+	Uses uint64
+	name string
+}
+
+// NewFIFOResource returns an idle resource.
+func (e *Engine) NewFIFOResource(name string) *FIFOResource {
+	return &FIFOResource{eng: e, name: name}
+}
+
+// Name returns the resource's label.
+func (r *FIFOResource) Name() string { return r.name }
+
+// Use occupies the resource for occupy time starting when it becomes free,
+// then keeps the caller blocked for a further tail (latency that does not
+// occupy the resource, e.g. propagation delay). It returns the time the
+// occupation started.
+func (r *FIFOResource) Use(p *Proc, occupy, tail Dur) Time {
+	if occupy < 0 {
+		occupy = 0
+	}
+	if tail < 0 {
+		tail = 0
+	}
+	start := r.eng.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + Time(occupy)
+	r.BusyTime += occupy
+	r.Uses++
+	p.SleepUntil(r.freeAt + Time(tail))
+	return start
+}
+
+// UseAsync occupies the resource without blocking any process and returns
+// the completion time. It is used by device copy engines whose completion is
+// signalled through stream events rather than a blocked caller.
+func (r *FIFOResource) UseAsync(occupy Dur) (start, end Time) {
+	if occupy < 0 {
+		occupy = 0
+	}
+	start = r.eng.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + Time(occupy)
+	r.BusyTime += occupy
+	r.Uses++
+	return start, r.freeAt
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *FIFOResource) FreeAt() Time { return r.freeAt }
+
+// CoUseAsync occupies all given resources for the same interval, starting
+// when every one of them is free. It models transfers that hold several
+// links at once (e.g. a peer-to-peer PCIe copy holding both device links).
+// At least one resource must be given.
+func CoUseAsync(occupy Dur, rs ...*FIFOResource) (start, end Time) {
+	if occupy < 0 {
+		occupy = 0
+	}
+	start = rs[0].eng.now
+	for _, r := range rs {
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+	}
+	end = start + Time(occupy)
+	for _, r := range rs {
+		r.freeAt = end
+		r.BusyTime += occupy
+		r.Uses++
+	}
+	return start, end
+}
+
+// Queue is an unbounded FIFO of arbitrary items with blocking receive.
+// Multiple consumers are served in FIFO order.
+type Queue struct {
+	eng   *Engine
+	items []interface{}
+	cond  *Cond
+}
+
+// NewQueue returns an empty queue.
+func (e *Engine) NewQueue(why string) *Queue {
+	return &Queue{eng: e, cond: e.NewCond("queue:" + why)}
+}
+
+// Put appends an item and wakes one waiting consumer. Put never blocks.
+func (q *Queue) Put(item interface{}) {
+	q.items = append(q.items, item)
+	q.cond.WakeOne()
+}
+
+// Get removes and returns the oldest item, blocking p until one exists.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	item := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue) TryGet() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }

@@ -1,0 +1,294 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine. It is the virtual-time substrate under every IMPACC
+// experiment: MPI tasks, message handler threads, and device activity queues
+// all run as cooperative sim processes over a shared virtual clock.
+//
+// Determinism: exactly one process runs at a time. Events are totally
+// ordered by (time, sequence number), so two runs with the same inputs
+// produce identical virtual schedules regardless of Go's goroutine
+// scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Dur is a span of virtual time in nanoseconds.
+type Dur int64
+
+// Common durations.
+const (
+	Nanosecond  Dur = 1
+	Microsecond Dur = 1000
+	Millisecond Dur = 1000 * 1000
+	Second      Dur = 1000 * 1000 * 1000
+)
+
+// Seconds reports the duration in floating-point seconds.
+func (d Dur) Seconds() float64 { return float64(d) / 1e9 }
+
+// Seconds reports the time in floating-point seconds since the run started.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (d Dur) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/1e3)
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/1e9)
+	}
+}
+
+// DurFromSeconds converts floating-point seconds to a Dur, rounding to the
+// nearest nanosecond and never returning a negative duration for a
+// non-negative input.
+func DurFromSeconds(s float64) Dur {
+	if s <= 0 {
+		return 0
+	}
+	return Dur(s*1e9 + 0.5)
+}
+
+// event is a scheduled occurrence. If proc is non-nil the event resumes that
+// process; otherwise fn runs inline in the engine loop.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready;
+// use NewEngine.
+type Engine struct {
+	now      Time
+	seq      uint64
+	evq      eventHeap
+	parked   chan struct{}
+	procs    map[*Proc]struct{}
+	halted   bool
+	panicked *PanicError
+
+	// MaxTime, when non-zero, stops the run once the clock would pass it.
+	MaxTime Time
+}
+
+// NewEngine returns an engine with an empty event queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule inserts an event at absolute time t (clamped to now).
+func (e *Engine) schedule(t Time, p *Proc, fn func()) *event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, proc: p, fn: fn}
+	heap.Push(&e.evq, ev)
+	return ev
+}
+
+// At schedules fn to run in engine context at absolute virtual time t.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, nil, fn) }
+
+// After schedules fn to run in engine context after duration d.
+func (e *Engine) After(d Dur, fn func()) { e.schedule(e.now+Time(d), nil, fn) }
+
+// Proc is a simulation process: a goroutine that runs cooperatively under
+// the engine. At any instant at most one Proc executes.
+type Proc struct {
+	Name   string
+	eng    *Engine
+	resume chan struct{}
+	done   bool
+	// blockedOn describes what the process is waiting for, for deadlock
+	// diagnostics.
+	blockedOn string
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process executing fn, scheduled to start at the current
+// virtual time (after already-queued events at this time).
+//
+// If fn panics, the engine captures the panic value, halts the run, and
+// Run returns a *PanicError — a stray panic in one process must not hang
+// the host program.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{Name: name, eng: e, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = &PanicError{Proc: name, Value: r}
+				e.halted = true
+			}
+			p.done = true
+			delete(e.procs, p)
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(t, p, nil)
+	return p
+}
+
+// PanicError reports that a simulation process panicked.
+type PanicError struct {
+	Proc  string
+	Value interface{}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %s panicked: %v", e.Proc, e.Value)
+}
+
+// Unwrap exposes a panicked error value for errors.As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// park blocks the calling process and returns control to the engine loop.
+// Something must later wake the process via engine.wake.
+func (p *Proc) park(why string) {
+	p.blockedOn = why
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// wake schedules process p to resume at time t.
+func (e *Engine) wake(p *Proc, t Time) { e.schedule(t, p, nil) }
+
+// runProc hands control to p until it parks or finishes.
+func (e *Engine) runProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d Dur) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.wake(p, p.eng.now+Time(d))
+	p.park("sleep")
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	p.eng.wake(p, t)
+	p.park("sleepUntil")
+}
+
+// Yield reschedules the process at the current time, letting other
+// already-queued events at this instant run first.
+func (p *Proc) Yield() {
+	p.eng.wake(p, p.eng.now)
+	p.park("yield")
+}
+
+// DeadlockError reports that the run ended with live processes blocked on
+// conditions that can never fire.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v: %d process(es) blocked: %v",
+		Dur(e.Time), len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until the queue drains. It returns a *DeadlockError if
+// processes remain blocked when no events are left, or nil on clean
+// completion (all spawned processes finished).
+func (e *Engine) Run() error {
+	for e.evq.Len() > 0 && !e.halted {
+		ev := heap.Pop(&e.evq).(*event)
+		if e.MaxTime != 0 && ev.at > e.MaxTime {
+			e.halted = true
+			break
+		}
+		e.now = ev.at
+		if ev.proc != nil {
+			if !ev.proc.done {
+				e.runProc(ev.proc)
+			}
+			continue
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if e.panicked != nil {
+		return e.panicked
+	}
+	if len(e.procs) > 0 && !e.halted {
+		var blocked []string
+		for p := range e.procs {
+			blocked = append(blocked, fmt.Sprintf("%s (on %s)", p.Name, p.blockedOn))
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Time: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Halt stops the run after the current event completes. Remaining blocked
+// processes are abandoned (their goroutines stay parked until process exit),
+// so Halt is intended for command-line tools and fatal-error paths, not for
+// tests that run many engines.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether the engine stopped via Halt or MaxTime.
+func (e *Engine) Halted() bool { return e.halted }

@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"fmt"
+
+	"impacc/internal/sim"
+)
+
+// Fabric materializes a System's shared transfer resources in a simulation
+// engine and prices every kind of data movement the IMPACC runtime performs:
+// host memcpy, PCIe transfers (with NUMA penalty), direct device-to-device
+// PCIe copies, and internode network transfers.
+//
+// All *Async methods charge resource occupancy starting at the current
+// virtual time and return the completion time without blocking; callers
+// (device streams, message handlers) sleep until completion or attach
+// callbacks. Blocking variants park the calling process.
+type Fabric struct {
+	Eng *sim.Engine
+	Sys *System
+
+	nodes []*NodeRes
+}
+
+// NodeRes holds the materialized shared resources of one node.
+type NodeRes struct {
+	// PCIe has one entry per device; nil for integrated devices.
+	PCIe []*sim.FIFOResource
+	// Inter is the inter-socket (QPI/HT) link.
+	Inter *sim.FIFOResource
+	// MemBus models the host memory system's copy bandwidth.
+	MemBus *sim.FIFOResource
+	// NICOut and NICIn are the network adapter's injection and ejection
+	// sides.
+	NICOut, NICIn *sim.FIFOResource
+}
+
+// NewFabric builds the per-node resources for sys inside eng.
+func NewFabric(eng *sim.Engine, sys *System) *Fabric {
+	f := &Fabric{Eng: eng, Sys: sys}
+	f.nodes = make([]*NodeRes, len(sys.Nodes))
+	for i := range sys.Nodes {
+		node := &sys.Nodes[i]
+		nr := &NodeRes{
+			Inter:  eng.NewFIFOResource(fmt.Sprintf("%s/inter", node.Name)),
+			MemBus: eng.NewFIFOResource(fmt.Sprintf("%s/membus", node.Name)),
+			NICOut: eng.NewFIFOResource(fmt.Sprintf("%s/nic-out", node.Name)),
+			NICIn:  eng.NewFIFOResource(fmt.Sprintf("%s/nic-in", node.Name)),
+		}
+		nr.PCIe = make([]*sim.FIFOResource, len(node.Devices))
+		for d := range node.Devices {
+			if !node.Devices[d].Class.Integrated() {
+				nr.PCIe[d] = eng.NewFIFOResource(
+					fmt.Sprintf("%s/pcie%d", node.Name, d))
+			}
+		}
+		f.nodes[i] = nr
+	}
+	return f
+}
+
+// Node returns the resources of node i.
+func (f *Fabric) Node(i int) *NodeRes { return f.nodes[i] }
+
+// HostCopyAsync prices an intra-node host-to-host memcpy of n bytes and
+// returns its completion time.
+func (f *Fabric) HostCopyAsync(node int, n int64) sim.Time {
+	spec := &f.Sys.Nodes[node]
+	occupy := sim.DurFromSeconds(float64(n) / (spec.HostMemGBs * 1e9))
+	_, end := f.nodes[node].MemBus.UseAsync(occupy)
+	return end + sim.Time(spec.HostCopySW)
+}
+
+// HostCopy is the blocking variant of HostCopyAsync.
+func (f *Fabric) HostCopy(p *sim.Proc, node int, n int64) {
+	p.SleepUntil(f.HostCopyAsync(node, n))
+}
+
+// ShmCopyAsync prices one copy of the legacy inter-process shared-memory
+// transport: host memcpy at the node's ShmFactor bandwidth plus the
+// per-message IPC synchronization overhead. This is the "inter-process
+// communication and/or redundant host-to-host memory copy" of Figure 6 (a).
+func (f *Fabric) ShmCopyAsync(node int, n int64) sim.Time {
+	spec := &f.Sys.Nodes[node]
+	factor := spec.ShmFactor
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	occupy := sim.DurFromSeconds(float64(n) / (spec.HostMemGBs * factor * 1e9))
+	_, end := f.nodes[node].MemBus.UseAsync(occupy)
+	return end + sim.Time(spec.HostCopySW+spec.IPCOverhead)
+}
+
+// PCIeCopyAsync prices a host-to-device or device-to-host transfer of n
+// bytes for device dev of node, initiated from CPU socket fromSocket.
+// When fromSocket differs from the device's near socket, the node's NUMA
+// penalty divides the effective bandwidth and the transfer also occupies
+// the inter-socket link (paper §3.3, Figure 8). fromSocket < 0 means "near"
+// (no penalty). pinned=false applies the node's PageableFactor (legacy
+// application buffers); the IMPACC runtime's internal buffers are
+// pre-pinned. Integrated devices cost one host copy instead.
+func (f *Fabric) PCIeCopyAsync(node, dev, fromSocket int, n int64, pinned bool) sim.Time {
+	spec := &f.Sys.Nodes[node]
+	d := &spec.Devices[dev]
+	if d.Class.Integrated() {
+		return f.HostCopyAsync(node, n)
+	}
+	link := d.PCIe
+	far := fromSocket >= 0 && fromSocket != d.Socket && spec.NUMAPenalty > 1
+	occupy := link.Occupy(n)
+	if !pinned && spec.PageableFactor > 0 && spec.PageableFactor < 1 {
+		occupy = sim.Dur(float64(occupy) / spec.PageableFactor)
+	}
+	tail := link.Latency + link.SWOverhead
+	nr := f.nodes[node]
+	if far {
+		occupy = sim.Dur(float64(occupy) * spec.NUMAPenalty)
+		tail += spec.Inter.Latency
+		// The inter-socket link carries the data volume at its own
+		// bandwidth; the PCIe link is held for the penalty-inflated
+		// duration (the transfer crawls at the far-socket rate).
+		_, interEnd := nr.Inter.UseAsync(spec.Inter.Occupy(n))
+		_, pcieEnd := nr.PCIe[dev].UseAsync(occupy)
+		end := pcieEnd
+		if interEnd > end {
+			end = interEnd
+		}
+		return end + sim.Time(tail)
+	}
+	_, end := nr.PCIe[dev].UseAsync(occupy)
+	return end + sim.Time(tail)
+}
+
+// PCIeCopy is the blocking variant of PCIeCopyAsync.
+func (f *Fabric) PCIeCopy(p *sim.Proc, node, dev, fromSocket int, n int64, pinned bool) {
+	p.SleepUntil(f.PCIeCopyAsync(node, dev, fromSocket, n, pinned))
+}
+
+// P2PCopyAsync prices a direct device-to-device PCIe copy of n bytes between
+// devices a and b of node, which must share a root complex. It occupies
+// both device links for the same interval (paper §3.7: "the runtime copies
+// data directly between devices over the PCIe without the involvement of
+// the CPU or system memory").
+func (f *Fabric) P2PCopyAsync(node, a, b int, n int64) sim.Time {
+	spec := &f.Sys.Nodes[node]
+	da, db := &spec.Devices[a], &spec.Devices[b]
+	bw := da.P2PGBs
+	if db.P2PGBs < bw {
+		bw = db.P2PGBs
+	}
+	occupy := sim.DurFromSeconds(float64(n) / (bw * 1e9))
+	tail := da.PCIe.Latency + da.PCIe.SWOverhead
+	nr := f.nodes[node]
+	_, end := sim.CoUseAsync(occupy, nr.PCIe[a], nr.PCIe[b])
+	return end + sim.Time(tail)
+}
+
+// CanP2P reports whether a direct DtoD copy is possible between devices a
+// and b of node: same root complex and both advertise P2P bandwidth.
+func (f *Fabric) CanP2P(node, a, b int) bool {
+	spec := &f.Sys.Nodes[node]
+	if a == b || !spec.SameRootComplex(a, b) {
+		return false
+	}
+	return spec.Devices[a].P2PGBs > 0 && spec.Devices[b].P2PGBs > 0
+}
+
+// NetSendAsync prices an internode transfer of n bytes from srcNode to
+// dstNode, occupying the source NIC's injection side and the destination
+// NIC's ejection side for the same interval, plus wire latency.
+func (f *Fabric) NetSendAsync(srcNode, dstNode int, n int64) sim.Time {
+	src := &f.Sys.Nodes[srcNode]
+	link := src.NIC.Link
+	occupy := link.Occupy(n)
+	tail := link.Latency + link.SWOverhead
+	_, end := sim.CoUseAsync(occupy, f.nodes[srcNode].NICOut, f.nodes[dstNode].NICIn)
+	return end + sim.Time(tail)
+}
+
+// NetSend is the blocking variant of NetSendAsync.
+func (f *Fabric) NetSend(p *sim.Proc, srcNode, dstNode int, n int64) {
+	p.SleepUntil(f.NetSendAsync(srcNode, dstNode, n))
+}
+
+// RDMACapable reports whether both endpoints support direct accelerator
+// memory access over the network (GPUDirect RDMA, paper §3.7): data moves
+// from device memory to the NIC without staging through host memory.
+func (f *Fabric) RDMACapable(srcNode, dstNode int) bool {
+	return f.Sys.Nodes[srcNode].NIC.RDMA && f.Sys.Nodes[dstNode].NIC.RDMA
+}

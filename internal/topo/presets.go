@@ -1,0 +1,209 @@
+package topo
+
+import "fmt"
+
+// Presets for the three evaluation systems of Table 1 plus the
+// heterogeneous demo cluster of Figure 2. Rates are calibrated so the
+// simulated machines land near published microbenchmark numbers for the
+// real hardware; the paper comparison only relies on relative shapes.
+
+// PSG returns one node of NVIDIA's PSG cluster: 2× Xeon E5-2698 v3,
+// 8× Kepler GK210 (PCIe Gen3 x16), Mellanox InfiniBand FDR, MVAPICH2
+// (MPI_THREAD_MULTIPLE). The paper uses a single PSG node.
+func PSG() *System {
+	node := NodeSpec{
+		Name: "psg",
+		Sockets: []SocketSpec{
+			{Name: "E5-2698v3", Cores: 16, GFlopsDP: 589},
+			{Name: "E5-2698v3", Cores: 16, GFlopsDP: 589},
+		},
+		MemoryBytes:    256 << 30,
+		HostMemGBs:     11.0,
+		HostCopySW:     1200,
+		Inter:          LinkSpec{Latency: 120, GBs: 16.0, SWOverhead: 0},
+		NUMAPenalty:    3.5,
+		PageableFactor: 0.55,
+		ShmFactor:      0.5,
+		IPCOverhead:    3000,
+		NIC: NICSpec{
+			Name:   "mlx-fdr",
+			Link:   LinkSpec{Latency: 1300, GBs: 6.0, SWOverhead: 600},
+			Socket: 0,
+			RDMA:   true,
+		},
+	}
+	for i := 0; i < 8; i++ {
+		node.Devices = append(node.Devices, DeviceSpec{
+			Class:        NVIDIAGPU,
+			Name:         fmt.Sprintf("GK210-%d", i),
+			MemoryBytes:  12 << 30,
+			Socket:       i / 4, // 4 GPUs per root complex
+			GFlopsDP:     1200,
+			GemmEff:      0.78,
+			MemBWGBs:     240,
+			StencilEff:   0.55,
+			KernelLaunch: 8000, // 8us CUDA launch
+			PCIe:         LinkSpec{Latency: 900, GBs: 11.8, SWOverhead: 4000},
+			P2PGBs:       10.5,
+		})
+	}
+	return &System{
+		Name:           "PSG",
+		Nodes:          []NodeSpec{node},
+		MPIOverhead:    400,
+		ThreadMultiple: true,
+	}
+}
+
+// Beacon returns n nodes of the Beacon cluster: 2× Xeon E5-2670, 4× Xeon Phi
+// 5110P (PCIe Gen2 x16), Mellanox InfiniBand FDR, Intel MPI
+// (MPI_THREAD_MULTIPLE). The paper uses up to 32 of 48 nodes.
+func Beacon(n int) *System {
+	sys := &System{Name: "Beacon", MPIOverhead: 450, ThreadMultiple: true}
+	for i := 0; i < n; i++ {
+		node := NodeSpec{
+			Name: fmt.Sprintf("beacon%03d", i),
+			Sockets: []SocketSpec{
+				{Name: "E5-2670", Cores: 8, GFlopsDP: 166},
+				{Name: "E5-2670", Cores: 8, GFlopsDP: 166},
+			},
+			MemoryBytes:    256 << 30,
+			HostMemGBs:     9.0,
+			HostCopySW:     1200,
+			Inter:          LinkSpec{Latency: 150, GBs: 12.8, SWOverhead: 0},
+			NUMAPenalty:    2.6,
+			PageableFactor: 0.6,
+			ShmFactor:      0.5,
+			IPCOverhead:    3500,
+			NIC: NICSpec{
+				Name:   "mlx-fdr",
+				Link:   LinkSpec{Latency: 1500, GBs: 5.6, SWOverhead: 700},
+				Socket: 0,
+				RDMA:   false, // MIC path stages through host (no GPUDirect)
+			},
+		}
+		for d := 0; d < 4; d++ {
+			node.Devices = append(node.Devices, DeviceSpec{
+				Class:        XeonPhi,
+				Name:         fmt.Sprintf("5110P-%d", d),
+				MemoryBytes:  8 << 30,
+				Socket:       d / 2, // 2 MICs per socket
+				GFlopsDP:     1011,
+				GemmEff:      0.70,
+				MemBWGBs:     320,
+				StencilEff:   0.40,
+				KernelLaunch: 15000, // OpenCL launch path is slower
+				PCIe:         LinkSpec{Latency: 1100, GBs: 6.0, SWOverhead: 6000},
+				P2PGBs:       4.8,
+			})
+		}
+		sys.Nodes = append(sys.Nodes, node)
+	}
+	return sys
+}
+
+// Titan returns n nodes of the Titan supercomputer: AMD Opteron 6274,
+// 1× Tesla K20X per node (PCIe Gen2 x16), Cray Gemini interconnect, Cray
+// MPICH2 (MPI_THREAD_MULTIPLE), GPUDirect RDMA exploited by IMPACC
+// (paper §4.2, Figure 9 g-i).
+func Titan(n int) *System {
+	sys := &System{Name: "Titan", MPIOverhead: 500, ThreadMultiple: true}
+	for i := 0; i < n; i++ {
+		node := NodeSpec{
+			Name: fmt.Sprintf("titan%05d", i),
+			Sockets: []SocketSpec{
+				{Name: "Opteron-6274", Cores: 16, GFlopsDP: 141},
+			},
+			MemoryBytes:    32 << 30,
+			HostMemGBs:     7.5,
+			HostCopySW:     1500,
+			Inter:          LinkSpec{Latency: 150, GBs: 10.0, SWOverhead: 0},
+			NUMAPenalty:    1.0, // single socket: no NUMA penalty
+			PageableFactor: 0.6,
+			ShmFactor:      0.5,
+			IPCOverhead:    3000,
+			NIC: NICSpec{
+				Name:   "gemini",
+				Link:   LinkSpec{Latency: 1500, GBs: 4.5, SWOverhead: 800},
+				Socket: 0,
+				RDMA:   true,
+			},
+			Devices: []DeviceSpec{{
+				Class:        NVIDIAGPU,
+				Name:         "K20X",
+				MemoryBytes:  6 << 30,
+				Socket:       0,
+				GFlopsDP:     1310,
+				GemmEff:      0.80,
+				MemBWGBs:     250,
+				StencilEff:   0.55,
+				KernelLaunch: 8000,
+				PCIe:         LinkSpec{Latency: 1000, GBs: 6.0, SWOverhead: 4000},
+				P2PGBs:       0, // one device per node: P2P never applies
+			}},
+		}
+		sys.Nodes = append(sys.Nodes, node)
+	}
+	return sys
+}
+
+// HeteroDemo returns the heterogeneous three-node cluster used to exercise
+// automatic task-device mapping (paper Figure 2): node 0 with two NVIDIA
+// GPUs, node 1 with one NVIDIA GPU and two Xeon Phis, node 2 with CPU-only
+// accelerators. Every node also exposes its CPU cores as one CPUAccel
+// device per socket.
+func HeteroDemo() *System {
+	gpu := func(i, socket int) DeviceSpec {
+		return DeviceSpec{
+			Class: NVIDIAGPU, Name: fmt.Sprintf("gpu%d", i), MemoryBytes: 6 << 30,
+			Socket: socket, GFlopsDP: 1200, GemmEff: 0.75, MemBWGBs: 240,
+			StencilEff: 0.5, KernelLaunch: 8000,
+			PCIe: LinkSpec{Latency: 900, GBs: 11.8, SWOverhead: 4000}, P2PGBs: 10,
+		}
+	}
+	phi := func(i, socket int) DeviceSpec {
+		return DeviceSpec{
+			Class: XeonPhi, Name: fmt.Sprintf("mic%d", i), MemoryBytes: 8 << 30,
+			Socket: socket, GFlopsDP: 1011, GemmEff: 0.7, MemBWGBs: 320,
+			StencilEff: 0.4, KernelLaunch: 15000,
+			PCIe: LinkSpec{Latency: 1100, GBs: 6.0, SWOverhead: 6000}, P2PGBs: 4.8,
+		}
+	}
+	cpu := func(i, socket int) DeviceSpec {
+		return DeviceSpec{
+			Class: CPUAccel, Name: fmt.Sprintf("cpu%d", i),
+			Socket: socket, GFlopsDP: 300, GemmEff: 0.85, MemBWGBs: 50,
+			StencilEff: 0.6, KernelLaunch: 1500,
+		}
+	}
+	base := NodeSpec{
+		Sockets: []SocketSpec{
+			{Name: "xeon", Cores: 8, GFlopsDP: 300},
+			{Name: "xeon", Cores: 8, GFlopsDP: 300},
+		},
+		MemoryBytes: 64 << 30,
+		HostMemGBs:  10, HostCopySW: 1200,
+		Inter:          LinkSpec{Latency: 130, GBs: 14, SWOverhead: 0},
+		NUMAPenalty:    3.0,
+		PageableFactor: 0.55,
+		ShmFactor:      0.5,
+		IPCOverhead:    3000,
+		NIC: NICSpec{Name: "ib", Link: LinkSpec{Latency: 1400, GBs: 5.5, SWOverhead: 650},
+			Socket: 0, RDMA: true},
+	}
+	n0 := base
+	n0.Name = "hetero0"
+	n0.Devices = []DeviceSpec{gpu(0, 0), gpu(1, 1), cpu(0, 0), cpu(1, 1)}
+	n1 := base
+	n1.Name = "hetero1"
+	n1.Devices = []DeviceSpec{gpu(0, 0), phi(0, 0), phi(1, 1), cpu(0, 0), cpu(1, 1)}
+	n2 := base
+	n2.Name = "hetero2"
+	n2.Devices = []DeviceSpec{cpu(0, 0), cpu(1, 1)}
+	return &System{
+		Name:           "HeteroDemo",
+		Nodes:          []NodeSpec{n0, n1, n2},
+		MPIOverhead:    400,
+		ThreadMultiple: true,
+	}
+}

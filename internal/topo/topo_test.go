@@ -1,0 +1,355 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"impacc/internal/sim"
+)
+
+func TestTable1Presets(t *testing.T) {
+	psg := PSG()
+	if got := len(psg.Nodes); got != 1 {
+		t.Fatalf("PSG nodes = %d, want 1 (paper uses 1 of 16)", got)
+	}
+	if got := len(psg.Nodes[0].Devices); got != 8 {
+		t.Fatalf("PSG devices = %d, want 8 GK210", got)
+	}
+	if psg.Nodes[0].Devices[0].Class != NVIDIAGPU {
+		t.Fatal("PSG device class must be NVIDIA GPU")
+	}
+	if psg.Nodes[0].CPUCores() != 32 {
+		t.Fatalf("PSG cores = %d, want 32", psg.Nodes[0].CPUCores())
+	}
+
+	bea := Beacon(32)
+	if got := len(bea.Nodes); got != 32 {
+		t.Fatalf("Beacon nodes = %d, want 32", got)
+	}
+	if got := len(bea.Nodes[0].Devices); got != 4 {
+		t.Fatalf("Beacon devices per node = %d, want 4 Xeon Phi", got)
+	}
+	if bea.Nodes[0].Devices[0].Class != XeonPhi {
+		t.Fatal("Beacon device class must be Xeon Phi")
+	}
+	if bea.TotalDevices(0) != 128 {
+		t.Fatalf("Beacon total devices = %d, want 128", bea.TotalDevices(0))
+	}
+
+	ti := Titan(8192)
+	if got := len(ti.Nodes); got != 8192 {
+		t.Fatalf("Titan nodes = %d, want 8192", got)
+	}
+	if got := len(ti.Nodes[0].Devices); got != 1 {
+		t.Fatalf("Titan devices per node = %d, want 1 K20X", got)
+	}
+	if !ti.Nodes[0].NIC.RDMA {
+		t.Fatal("Titan NIC must be RDMA-capable (GPUDirect RDMA)")
+	}
+	if ti.Nodes[0].NUMAPenalty != 1.0 {
+		t.Fatal("single-socket Titan node must have no NUMA penalty")
+	}
+}
+
+func TestClassMask(t *testing.T) {
+	m := MaskOf(NVIDIAGPU, XeonPhi)
+	if !m.Has(NVIDIAGPU) || !m.Has(XeonPhi) {
+		t.Fatal("mask missing selected classes")
+	}
+	if m.Has(CPUAccel) {
+		t.Fatal("mask should not select CPUAccel")
+	}
+	var def ClassMask
+	for c := NVIDIAGPU; c <= CPUAccel; c++ {
+		if !def.Has(c) {
+			t.Fatalf("default mask must select everything, missing %v", c)
+		}
+	}
+	if s := m.String(); s != "nvidia|xeonphi" {
+		t.Fatalf("mask string = %q", s)
+	}
+	if def.String() != "default" {
+		t.Fatalf("default mask string = %q", def.String())
+	}
+}
+
+func TestTotalDevicesWithMask(t *testing.T) {
+	sys := HeteroDemo()
+	// Figure 2: node0 = 2 GPU + 2 CPU, node1 = 1 GPU + 2 Phi + 2 CPU,
+	// node2 = 2 CPU.
+	cases := []struct {
+		mask ClassMask
+		want int
+	}{
+		{0, 11},                         // acc_device_default: everything
+		{MaskOf(NVIDIAGPU), 3},          // acc_device_nvidia
+		{MaskOf(CPUAccel), 6},           // acc_device_cpu
+		{MaskOf(XeonPhi), 2},            // acc_device_xeonphi
+		{MaskOf(NVIDIAGPU, XeonPhi), 5}, // nvidia|xeonphi
+	}
+	for _, c := range cases {
+		if got := sys.TotalDevices(c.mask); got != c.want {
+			t.Errorf("TotalDevices(%v) = %d, want %d", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestDeviceAffinityAndSysfs(t *testing.T) {
+	node := &PSG().Nodes[0]
+	if node.DeviceAffinity(0) != 0 || node.DeviceAffinity(7) != 1 {
+		t.Fatalf("PSG affinity: dev0=%d dev7=%d, want 0 and 1",
+			node.DeviceAffinity(0), node.DeviceAffinity(7))
+	}
+	p := node.SysfsPath(5)
+	if !strings.HasPrefix(p, "/sys/class/pci_bus/") || !strings.HasSuffix(p, "numa_node:1") {
+		t.Fatalf("sysfs path = %q", p)
+	}
+}
+
+func TestSameRootComplex(t *testing.T) {
+	node := &PSG().Nodes[0]
+	if !node.SameRootComplex(0, 3) {
+		t.Fatal("PSG devices 0 and 3 share socket 0")
+	}
+	if node.SameRootComplex(0, 4) {
+		t.Fatal("PSG devices 0 and 4 are on different sockets")
+	}
+	h := &HeteroDemo().Nodes[2]
+	if h.SameRootComplex(0, 1) {
+		t.Fatal("integrated CPU accelerators never share a PCIe root complex")
+	}
+}
+
+func TestLinkSpecTime(t *testing.T) {
+	l := LinkSpec{Latency: 1000, GBs: 10, SWOverhead: 500}
+	if got := l.Time(0); got != 1500 {
+		t.Fatalf("zero-byte time = %v, want 1.5us", got)
+	}
+	// 10 GB at 10 GB/s = 1s, plus fixed costs.
+	if got := l.Time(10 << 30); got < sim.Second || got > sim.Second+sim.Second/10 {
+		t.Fatalf("10GiB time = %v, want ~1.07s", got)
+	}
+	if l.Time(-5) != l.Time(0) {
+		t.Fatal("negative sizes must clamp to zero")
+	}
+}
+
+func TestFabricHostCopy(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, PSG())
+	var end sim.Time
+	eng.Spawn("t", func(p *sim.Proc) {
+		f.HostCopy(p, 0, 1<<30)
+		end = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 GiB at 11 GB/s ~ 97.6ms.
+	want := 1 << 30 / 11.0 // ns per byte * bytes = ns
+	if got := float64(end); got < want*0.99 || got > want*1.05 {
+		t.Fatalf("1GiB host copy = %v, want ~97.6ms", sim.Dur(end))
+	}
+}
+
+func TestFabricNUMAPenalty(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, PSG())
+	n := int64(256 << 20)
+	nearEnd := f.PCIeCopyAsync(0, 0, 0, n, true) // socket 0 -> device 0 (near)
+	eng2 := sim.NewEngine()
+	f2 := NewFabric(eng2, PSG())
+	farEnd := f2.PCIeCopyAsync(0, 0, 1, n, true) // socket 1 -> device 0 (far)
+	ratio := float64(farEnd) / float64(nearEnd)
+	if ratio < 3.0 || ratio > 3.6 {
+		t.Fatalf("far/near large-transfer ratio = %.2f, want ~3.5 (Figure 8)", ratio)
+	}
+}
+
+func TestFabricNUMAPenaltySmallMessageDamped(t *testing.T) {
+	// For tiny transfers, latency dominates and the penalty ratio shrinks —
+	// the same shape as the left side of Figure 8.
+	eng := sim.NewEngine()
+	f := NewFabric(eng, PSG())
+	near := f.PCIeCopyAsync(0, 0, 0, 64, true)
+	eng2 := sim.NewEngine()
+	f2 := NewFabric(eng2, PSG())
+	far := f2.PCIeCopyAsync(0, 0, 1, 64, true)
+	ratio := float64(far) / float64(near)
+	if ratio > 1.5 {
+		t.Fatalf("64B far/near ratio = %.2f, want close to 1", ratio)
+	}
+}
+
+func TestFabricNegativeSocketMeansNear(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, PSG())
+	a := f.PCIeCopyAsync(0, 0, -1, 1<<20, true)
+	eng2 := sim.NewEngine()
+	f2 := NewFabric(eng2, PSG())
+	b := f2.PCIeCopyAsync(0, 0, 0, 1<<20, true)
+	if a != b {
+		t.Fatalf("socket -1 (%v) should equal near socket (%v)", a, b)
+	}
+}
+
+func TestFabricIntegratedDeviceUsesHostCopy(t *testing.T) {
+	sys := HeteroDemo()
+	eng := sim.NewEngine()
+	f := NewFabric(eng, sys)
+	// Node 2 devices are CPUAccel; a "PCIe" copy must cost a host copy.
+	got := f.PCIeCopyAsync(2, 0, 1, 1<<20, true)
+	eng2 := sim.NewEngine()
+	f2 := NewFabric(eng2, sys)
+	want := f2.HostCopyAsync(2, 1<<20)
+	if got != want {
+		t.Fatalf("integrated copy = %v, want host copy %v", got, want)
+	}
+}
+
+func TestFabricP2P(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, PSG())
+	if !f.CanP2P(0, 0, 1) {
+		t.Fatal("PSG devices 0,1 must be P2P-capable")
+	}
+	if f.CanP2P(0, 0, 4) {
+		t.Fatal("cross-socket devices must not be P2P-capable")
+	}
+	if f.CanP2P(0, 2, 2) {
+		t.Fatal("a device is not P2P with itself")
+	}
+	end := f.P2PCopyAsync(0, 0, 1, 1<<30)
+	// 1 GiB at 10.5 GB/s ~ 102ms; must be far below the staged
+	// DtoH+HtoH+HtoD path.
+	if end > sim.Time(150*sim.Millisecond) {
+		t.Fatalf("P2P copy of 1GiB took %v", sim.Dur(end))
+	}
+}
+
+func TestFabricP2PContention(t *testing.T) {
+	// Two P2P copies sharing a link must serialize.
+	eng := sim.NewEngine()
+	f := NewFabric(eng, PSG())
+	e1 := f.P2PCopyAsync(0, 0, 1, 1<<30)
+	e2 := f.P2PCopyAsync(0, 1, 2, 1<<30) // shares device 1's link
+	if e2 < e1 {
+		t.Fatalf("overlapping copies did not serialize: %v then %v", e1, e2)
+	}
+	if d := e2 - e1; d < sim.Time(90*sim.Millisecond) {
+		t.Fatalf("second copy gained only %v over first", sim.Dur(d))
+	}
+}
+
+func TestFabricNetSend(t *testing.T) {
+	sys := Titan(2)
+	eng := sim.NewEngine()
+	f := NewFabric(eng, sys)
+	var end sim.Time
+	eng.Spawn("s", func(p *sim.Proc) {
+		f.NetSend(p, 0, 1, 1<<30)
+		end = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 GiB at 4.5 GB/s ~ 239ms.
+	if end < sim.Time(200*sim.Millisecond) || end > sim.Time(280*sim.Millisecond) {
+		t.Fatalf("1GiB Gemini transfer = %v, want ~239ms", sim.Dur(end))
+	}
+	if !f.RDMACapable(0, 1) {
+		t.Fatal("Titan must be RDMA capable both ways")
+	}
+}
+
+func TestFabricNICSerializes(t *testing.T) {
+	sys := Titan(3)
+	eng := sim.NewEngine()
+	f := NewFabric(eng, sys)
+	e1 := f.NetSendAsync(0, 1, 1<<28)
+	e2 := f.NetSendAsync(0, 2, 1<<28) // same source NIC
+	if e2 <= e1 {
+		t.Fatal("sends sharing a NIC must serialize")
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if NVIDIAGPU.String() != "nvidia" || XeonPhi.String() != "xeonphi" ||
+		CPUAccel.String() != "cpu" || AMDGPU.String() != "radeon" ||
+		FPGA.String() != "fpga" {
+		t.Fatal("device class names wrong")
+	}
+	if DeviceClass(99).String() != "DeviceClass(99)" {
+		t.Fatal("unknown class formatting wrong")
+	}
+	if NVIDIAGPU.Integrated() || !CPUAccel.Integrated() {
+		t.Fatal("Integrated() wrong")
+	}
+}
+
+// Property: link time is monotone in message size and always at least the
+// fixed costs.
+func TestLinkTimeMonotoneProperty(t *testing.T) {
+	l := LinkSpec{Latency: 1000, GBs: 5, SWOverhead: 300}
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := l.Time(x), l.Time(y)
+		return tx <= ty && tx >= l.Latency+l.SWOverhead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the NUMA penalty never makes a transfer cheaper and converges to
+// the configured factor for large sizes.
+func TestNUMAPenaltyProperty(t *testing.T) {
+	f := func(sz uint32) bool {
+		n := int64(sz)
+		e1 := sim.NewEngine()
+		near := NewFabric(e1, PSG()).PCIeCopyAsync(0, 0, 0, n, true)
+		e2 := sim.NewEngine()
+		far := NewFabric(e2, PSG()).PCIeCopyAsync(0, 0, 1, n, true)
+		return far >= near
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseClassMask(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ClassMask
+		err  bool
+	}{
+		{"", 0, false},
+		{"default", 0, false},
+		{"acc_device_default", 0, false},
+		{"nvidia", MaskOf(NVIDIAGPU), false},
+		{"acc_device_nvidia", MaskOf(NVIDIAGPU), false},
+		{"nvidia|xeonphi", MaskOf(NVIDIAGPU, XeonPhi), false},
+		{"acc_device_nvidia | acc_device_xeonphi", MaskOf(NVIDIAGPU, XeonPhi), false},
+		{"cpu", MaskOf(CPUAccel), false},
+		{"host", MaskOf(CPUAccel), false},
+		{"radeon|fpga", MaskOf(AMDGPU, FPGA), false},
+		{"quantum", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseClassMask(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseClassMask(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseClassMask(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// newTestEngine is a tiny helper for fabric tests over loaded systems.
+func newTestEngine() *sim.Engine { return sim.NewEngine() }

@@ -1,0 +1,33 @@
+/* Figure 4 (c) of the IMPACC paper: the unified activity queue. The
+ * compiler front-end (impacc-translate) parses these directives, validates
+ * the IMPACC mpi extension, lowers the runtime plan, and rewrites globals
+ * to be thread-local for threaded-MPI execution. */
+#include <mpi.h>
+
+int n = 1024;                 /* rewritten to __thread */
+static double norm;           /* rewritten to static __thread */
+double buf0[1024], buf1[1024];
+
+void exchange(int dst, int src, int tag, MPI_Comm comm) {
+    static long calls;        /* rewritten to static __thread */
+    MPI_Request req[2];
+    int i;
+    double x;
+    calls++;
+
+#pragma acc enter data create(buf0[0:n], buf1[0:n])
+
+#pragma acc kernels loop async(1)
+    for (i = 0; i < n; i++) { buf0[i] = i * 0.5; }
+
+#pragma acc mpi sendbuf(device) async(1)
+    MPI_Isend(buf0, n, MPI_DOUBLE, dst, tag, comm, &req[0]);
+#pragma acc mpi recvbuf(device) async(1)
+    MPI_Irecv(buf1, n, MPI_DOUBLE, src, tag, comm, &req[1]);
+
+#pragma acc kernels loop async(1)
+    for (i = 0; i < n; i++) { x = buf1[i]; }
+
+#pragma acc wait(1)
+#pragma acc exit data copyout(buf1[0:n]) delete(buf0)
+}

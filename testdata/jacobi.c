@@ -1,0 +1,32 @@
+/* 1-D Jacobi sweep in the paper's MPI+OpenACC style, exercising structured
+ * data regions, updates, halo exchange with the IMPACC directive, and
+ * cross-queue waits. Input for impacc-translate. */
+#include <mpi.h>
+
+#define N 4096
+double grid[N + 2][N], next[N + 2][N];
+static int rank, size;
+
+void sweep(int iters, MPI_Comm comm) {
+    int it, i, j;
+    MPI_Request req[4];
+
+#pragma acc data copyin(grid[0:N+2][0:N]) create(next[0:N+2][0:N])
+    {
+        for (it = 0; it < iters; it++) {
+#pragma acc mpi sendbuf(device) async(1)
+            MPI_Isend(grid[1], N, MPI_DOUBLE, rank - 1, 0, comm, &req[0]);
+#pragma acc mpi recvbuf(device) async(1)
+            MPI_Irecv(grid[0], N, MPI_DOUBLE, rank - 1, 0, comm, &req[1]);
+
+#pragma acc parallel loop gang vector async(1)
+            for (i = 1; i <= N; i++)
+                for (j = 0; j < N; j++)
+                    next[i][j] = 0.25 * (grid[i-1][j] + grid[i+1][j]);
+
+#pragma acc wait(1) async(2)
+#pragma acc update self(next[1:1][0:N]) async(2)
+        }
+#pragma acc wait
+    }
+}
