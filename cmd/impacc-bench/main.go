@@ -12,28 +12,41 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"impacc/internal/bench"
+	"impacc/internal/telemetry"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the benchmark driver; split from main so tests can invoke
+// the full command without spawning a process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("impacc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		csv   = flag.String("csv", "", "also write <id>.csv files with the raw series into this directory")
+		list    = fs.Bool("list", false, "list available experiments")
+		exp     = fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick   = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		csv     = fs.String("csv", "", "also write <id>.csv files with the raw series into this directory")
+		metrics = fs.String("metrics", "", "write the aggregate telemetry of every run to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.All {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var selected []bench.Experiment
@@ -43,29 +56,60 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := bench.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "impacc-bench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "impacc-bench: unknown experiment %q (try -list)\n", id)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
 	opt := bench.Options{Quick: *quick}
+	if *metrics != "" {
+		// One registry shared by every run of every selected experiment:
+		// counters and histograms aggregate across the whole sweep.
+		opt.Metrics = telemetry.NewRegistry()
+	}
 	for _, e := range selected {
-		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(os.Stdout, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "impacc-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		if err := e.Run(stdout, opt); err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: %s: %v\n", e.ID, err)
+			return 1
 		}
-		fmt.Printf("(%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s wall)\n\n", time.Since(start).Round(time.Millisecond))
 		if *csv != "" {
 			if err := writeCSV(*csv, e.ID, opt); err != nil {
-				fmt.Fprintf(os.Stderr, "impacc-bench: csv %s: %v\n", e.ID, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "impacc-bench: csv %s: %v\n", e.ID, err)
+				return 1
 			}
 		}
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, opt.Metrics.Snapshot(0)); err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics -> %s\n", *metrics)
+	}
+	return 0
+}
+
+// writeMetrics stores a telemetry snapshot at path: Prometheus text
+// exposition when the path ends in .prom, indented JSON otherwise.
+func writeMetrics(path string, snap *telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = snap.WritePrometheus(f)
+	} else {
+		err = snap.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeCSV stores an experiment's raw series under dir/<id>.csv.

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"impacc/internal/telemetry"
+)
+
+// TestSmokeFig6 drives the full command path through realMain on a fast
+// experiment and checks it produces the expected table.
+func TestSmokeFig6(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := realMain([]string{"-exp", "fig6", "-quick"}, &out, &errb); rc != 0 {
+		t.Fatalf("realMain = %d, stderr:\n%s", rc, errb.String())
+	}
+	s := out.String()
+	if s == "" {
+		t.Fatal("no output")
+	}
+	for _, want := range []string{"==== fig6:", "HtoD", "IMPACC copies"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSmokeList covers the -list path.
+func TestSmokeList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := realMain([]string{"-list"}, &out, &errb); rc != 0 {
+		t.Fatalf("realMain = %d", rc)
+	}
+	if !strings.Contains(out.String(), "fig9") {
+		t.Fatalf("-list missing fig9:\n%s", out.String())
+	}
+}
+
+// TestSmokeUnknownExperiment checks the error path returns a usage code.
+func TestSmokeUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := realMain([]string{"-exp", "fig99"}, &out, &errb); rc != 2 {
+		t.Fatalf("realMain = %d, want 2", rc)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+// TestMetricsAggregate runs an experiment with -metrics and checks the
+// aggregate snapshot holds non-empty series from every run of the sweep.
+func TestMetricsAggregate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out, errb bytes.Buffer
+	if rc := realMain([]string{"-exp", "fig6", "-quick", "-metrics", path}, &out, &errb); rc != 0 {
+		t.Fatalf("realMain = %d, stderr:\n%s", rc, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if len(snap.Families) == 0 {
+		t.Fatal("aggregate snapshot has no families")
+	}
+	found := map[string]bool{}
+	for _, f := range snap.Families {
+		found[f.Name] = len(f.Series) > 0
+	}
+	for _, fam := range []string{"msg_intra_msgs_total", "msg_fused_copies_total", "device_copy_bytes"} {
+		if !found[fam] {
+			t.Errorf("aggregate snapshot missing non-empty family %q", fam)
+		}
+	}
+}

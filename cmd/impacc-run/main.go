@@ -21,6 +21,7 @@ import (
 
 	"impacc/internal/apps"
 	"impacc/internal/core"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 )
 
@@ -81,22 +82,23 @@ var epClasses = map[string]apps.EPClass{
 
 func main() {
 	var (
-		app    = flag.String("app", "jacobi", "application: dgemm, ep, jacobi, lulesh")
-		system = flag.String("system", "psg", "system: psg, beacon:N, titan:N, hetero")
-		mode   = flag.String("mode", "impacc", "runtime: impacc or legacy")
-		style  = flag.String("style", "", "programming style: sync, async, unified (default: unified for impacc, async for legacy)")
-		tasks  = flag.Int("tasks", 0, "cap the task count (0 = one per accelerator)")
-		device = flag.String("devices", "", "IMPACC_ACC_DEVICE_TYPE selection, e.g. nvidia|xeonphi")
-		n      = flag.Int("n", 1024, "problem size (matrix/mesh edge)")
-		iters  = flag.Int("iters", 10, "jacobi iterations")
-		class  = flag.String("class", "A", "EP class: S W A B C D E 64xE")
-		edge   = flag.Int("edge", 16, "lulesh per-task mesh edge")
-		steps  = flag.Int("steps", 5, "lulesh steps")
-		verify = flag.Bool("verify", false, "verify results against serial references (forces -backed)")
-		backed = flag.Bool("backed", false, "attach real storage (compute genuine data)")
-		seed   = flag.Uint64("seed", 2016, "random seed")
-		trace  = flag.String("trace", "", "write a Chrome-trace timeline (view in Perfetto) to this file")
-		report = flag.String("report", "", "write the full run report as JSON to this file")
+		app     = flag.String("app", "jacobi", "application: dgemm, ep, jacobi, lulesh")
+		system  = flag.String("system", "psg", "system: psg, beacon:N, titan:N, hetero")
+		mode    = flag.String("mode", "impacc", "runtime: impacc or legacy")
+		style   = flag.String("style", "", "programming style: sync, async, unified (default: unified for impacc, async for legacy)")
+		tasks   = flag.Int("tasks", 0, "cap the task count (0 = one per accelerator)")
+		device  = flag.String("devices", "", "IMPACC_ACC_DEVICE_TYPE selection, e.g. nvidia|xeonphi")
+		n       = flag.Int("n", 1024, "problem size (matrix/mesh edge)")
+		iters   = flag.Int("iters", 10, "jacobi iterations")
+		class   = flag.String("class", "A", "EP class: S W A B C D E 64xE")
+		edge    = flag.Int("edge", 16, "lulesh per-task mesh edge")
+		steps   = flag.Int("steps", 5, "lulesh steps")
+		verify  = flag.Bool("verify", false, "verify results against serial references (forces -backed)")
+		backed  = flag.Bool("backed", false, "attach real storage (compute genuine data)")
+		seed    = flag.Uint64("seed", 2016, "random seed")
+		trace   = flag.String("trace", "", "write a Chrome-trace timeline (view in Perfetto) to this file")
+		report  = flag.String("report", "", "write the full run report as JSON to this file")
+		metrics = flag.String("metrics", "", "write the run's telemetry snapshot to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 	)
 	flag.Parse()
 
@@ -175,6 +177,28 @@ func main() {
 		fatal(f.Close())
 		fmt.Printf("  report -> %s\n", *report)
 	}
+	if *metrics != "" {
+		fatal(writeMetrics(*metrics, rep.Metrics))
+		fmt.Printf("  metrics: %d families -> %s\n", len(rep.Metrics.Families), *metrics)
+	}
+}
+
+// writeMetrics stores a telemetry snapshot at path: Prometheus text
+// exposition when the path ends in .prom, indented JSON otherwise.
+func writeMetrics(path string, snap *telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = snap.WritePrometheus(f)
+	} else {
+		err = snap.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -25,12 +25,12 @@ func (r AblationRow) Gain() float64 { return r.Off.Seconds() / r.On.Seconds() }
 
 // withFeature runs prog with the full IMPACC feature set, minus the given
 // mutation when off.
-func runFeature(sys *topo.System, tasks int, mutate func(f *core.Features), off bool, prog core.Program) (sim.Dur, error) {
+func runFeature(opt Options, sys *topo.System, tasks int, mutate func(f *core.Features), off bool, prog core.Program) (sim.Dur, error) {
 	f := core.DefaultFeatures(core.IMPACC)
 	if off {
 		mutate(&f)
 	}
-	cfg := baseCfg(sys, core.IMPACC, tasks, false)
+	cfg := baseCfg(opt, sys, core.IMPACC, tasks, false)
 	cfg.Features = &f
 	d, _, err := elapsedOf(cfg, prog)
 	return d, err
@@ -50,11 +50,11 @@ func Ablations(opt Options) ([]AblationRow, error) {
 	// falls back to the legacy two-copy transport.
 	add := func(name, workload string, sys *topo.System, tasks int,
 		mutate func(*core.Features), prog core.Program) error {
-		off, err := runFeature(sys, tasks, mutate, true, prog)
+		off, err := runFeature(opt, sys, tasks, mutate, true, prog)
 		if err != nil {
 			return fmt.Errorf("%s off: %w", name, err)
 		}
-		on, err := runFeature(sys, tasks, mutate, false, prog)
+		on, err := runFeature(opt, sys, tasks, mutate, false, prog)
 		if err != nil {
 			return fmt.Errorf("%s on: %w", name, err)
 		}
@@ -87,12 +87,12 @@ func Ablations(opt Options) ([]AblationRow, error) {
 	// Unified activity queue: unified style vs the async style with
 	// explicit synchronization, both under IMPACC.
 	{
-		cfgU := baseCfg(topo.PSG(), core.IMPACC, 8, false)
+		cfgU := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
 		on, _, err := elapsedOf(cfgU, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
 		if err != nil {
 			return nil, err
 		}
-		cfgA := baseCfg(topo.PSG(), core.IMPACC, 8, false)
+		cfgA := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
 		off, _, err := elapsedOf(cfgA, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleAsync}))
 		if err != nil {
 			return nil, err
@@ -117,7 +117,7 @@ func Ablations(opt Options) ([]AblationRow, error) {
 			rounds = 24
 		}
 		mk := func(serial bool) (sim.Dur, error) {
-			cfg := baseCfg(sys, core.IMPACC, 8, false)
+			cfg := baseCfg(opt, sys, core.IMPACC, 8, false)
 			cfg.ForceSerialMPI = serial
 			d, _, err := elapsedOf(cfg, crossNodeDeviceExchange(msgBytes, rounds))
 			return d, err
@@ -139,7 +139,7 @@ func Ablations(opt Options) ([]AblationRow, error) {
 	// NUMA pinning: far vs near (the Figure 8 effect at app level).
 	{
 		mk := func(pin core.PinPolicy) (sim.Dur, error) {
-			cfg := baseCfg(topo.PSG(), core.IMPACC, 8, false)
+			cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
 			cfg.Pin = pin
 			d, _, err := elapsedOf(cfg, apps.DGEMM(apps.DGEMMConfig{N: n, Style: apps.StyleSync}))
 			return d, err

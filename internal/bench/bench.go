@@ -12,6 +12,7 @@ import (
 
 	"impacc/internal/core"
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 )
 
@@ -20,6 +21,9 @@ type Options struct {
 	// Quick shrinks sweeps for CI/tests; full runs reproduce the paper's
 	// parameter ranges.
 	Quick bool
+	// Metrics, when non-nil, is shared by every run an experiment performs,
+	// aggregating all of their telemetry into one registry.
+	Metrics *telemetry.Registry
 }
 
 // Experiment is one reproducible table or figure.
@@ -59,7 +63,7 @@ func ByID(id string) (Experiment, bool) {
 }
 
 // baseCfg builds a run configuration.
-func baseCfg(sys *topo.System, mode core.Mode, maxTasks int, backed bool) core.Config {
+func baseCfg(opt Options, sys *topo.System, mode core.Mode, maxTasks int, backed bool) core.Config {
 	return core.Config{
 		System:    sys,
 		Mode:      mode,
@@ -67,6 +71,7 @@ func baseCfg(sys *topo.System, mode core.Mode, maxTasks int, backed bool) core.C
 		Backed:    backed,
 		Seed:      2016, // HPDC'16
 		JitterPct: 1.0,
+		Metrics:   opt.Metrics,
 	}
 }
 

@@ -32,26 +32,26 @@ type SpeedupRow struct {
 }
 
 // timeApp runs prog in the given mode and returns the elapsed virtual time.
-func timeApp(sys func() *topo.System, mode core.Mode, tasks int, prog func(style apps.Style) core.Program) (sim.Dur, *core.Report, error) {
-	cfg := baseCfg(sys(), mode, tasks, false)
+func timeApp(opt Options, sys func() *topo.System, mode core.Mode, tasks int, prog func(style apps.Style) core.Program) (sim.Dur, *core.Report, error) {
+	cfg := baseCfg(opt, sys(), mode, tasks, false)
 	return elapsedOf(cfg, prog(styleFor(mode)))
 }
 
 // speedupSweep times both modes across task counts and normalizes to the
 // legacy run at baseTasks.
-func speedupSweep(panel, param string, sys func() *topo.System, taskCounts []int, baseTasks int,
+func speedupSweep(opt Options, panel, param string, sys func() *topo.System, taskCounts []int, baseTasks int,
 	prog func(style apps.Style) core.Program) ([]SpeedupRow, error) {
-	base, _, err := timeApp(sys, core.Legacy, baseTasks, prog)
+	base, _, err := timeApp(opt, sys, core.Legacy, baseTasks, prog)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", panel, err)
 	}
 	var rows []SpeedupRow
 	for _, tc := range taskCounts {
-		ti, _, err := timeApp(sys, core.IMPACC, tc, prog)
+		ti, _, err := timeApp(opt, sys, core.IMPACC, tc, prog)
 		if err != nil {
 			return nil, fmt.Errorf("%s IMPACC %d: %w", panel, tc, err)
 		}
-		tl, _, err := timeApp(sys, core.Legacy, tc, prog)
+		tl, _, err := timeApp(opt, sys, core.Legacy, tc, prog)
 		if err != nil {
 			return nil, fmt.Errorf("%s MPI+X %d: %w", panel, tc, err)
 		}
@@ -98,20 +98,20 @@ func Fig10(opt Options) ([]SpeedupRow, error) {
 	}
 	for _, n := range psgNs {
 		n := n
-		r, err := speedupSweep(fmt.Sprintf("PSG"), fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1,
+		r, err := speedupSweep(opt, fmt.Sprintf("PSG"), fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1,
 			func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: n, Style: s}) })
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r...)
 	}
-	r, err := speedupSweep("Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1,
+	r, err := speedupSweep(opt, "Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1,
 		func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: beaconN, Style: s}) })
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, r...)
-	r, err = speedupSweep("Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase,
+	r, err = speedupSweep(opt, "Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase,
 		func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: titanN, Style: s}) })
 	if err != nil {
 		return nil, err
@@ -152,13 +152,13 @@ func Fig11(opt Options) ([]Fig11Row, error) {
 	var rows []Fig11Row
 	for _, n := range ns {
 		prog := func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: n, Style: s}) }
-		base, _, err := timeApp(topo.PSG, core.Legacy, 1, prog)
+		base, _, err := timeApp(opt, topo.PSG, core.Legacy, 1, prog)
 		if err != nil {
 			return nil, err
 		}
 		for _, tc := range taskCounts {
 			for _, mode := range []core.Mode{core.Legacy, core.IMPACC} {
-				elapsed, rep, err := timeApp(topo.PSG, mode, tc, prog)
+				elapsed, rep, err := timeApp(opt, topo.PSG, mode, tc, prog)
 				if err != nil {
 					return nil, err
 				}
@@ -229,18 +229,18 @@ func Fig12(opt Options) ([]SpeedupRow, error) {
 		}
 	}
 	for _, class := range psgClasses {
-		r, err := speedupSweep("PSG", "class "+class.Name, topo.PSG, psgTasks, 1, epProg(class))
+		r, err := speedupSweep(opt, "PSG", "class "+class.Name, topo.PSG, psgTasks, 1, epProg(class))
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r...)
 	}
-	r, err := speedupSweep("Beacon", "class "+beaconClass.Name, beaconSys, beaconTasks, 1, epProg(beaconClass))
+	r, err := speedupSweep(opt, "Beacon", "class "+beaconClass.Name, beaconSys, beaconTasks, 1, epProg(beaconClass))
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, r...)
-	r, err = speedupSweep("Titan", "class "+titanClass.Name, titanSys, titanTasks, titanBase, epProg(titanClass))
+	r, err = speedupSweep(opt, "Titan", "class "+titanClass.Name, titanSys, titanTasks, titanBase, epProg(titanClass))
 	if err != nil {
 		return nil, err
 	}
@@ -290,18 +290,18 @@ func Fig13(opt Options) ([]SpeedupRow, error) {
 		}
 	}
 	for _, n := range psgNs {
-		r, err := speedupSweep("PSG", fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1, jProg(n))
+		r, err := speedupSweep(opt, "PSG", fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1, jProg(n))
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r...)
 	}
-	r, err := speedupSweep("Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1, jProg(beaconN))
+	r, err := speedupSweep(opt, "Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1, jProg(beaconN))
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, r...)
-	r, err = speedupSweep("Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase, jProg(titanN))
+	r, err = speedupSweep(opt, "Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase, jProg(titanN))
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +345,7 @@ func Fig14(opt Options) ([]Fig14Row, error) {
 	// iteration count, so the difference between a 2k- and a k-iteration
 	// run isolates the per-exchange components — what Figure 14 plots.
 	run := func(mode core.Mode, n, tc, it int) (device.Stats, error) {
-		cfg := baseCfg(topo.PSG(), mode, tc, false)
+		cfg := baseCfg(opt, topo.PSG(), mode, tc, false)
 		_, rep, err := elapsedOf(cfg, apps.Jacobi(apps.JacobiConfig{
 			N: n, Iters: it, Style: styleFor(mode)}))
 		if err != nil {
@@ -420,17 +420,17 @@ func Fig15(opt Options) ([]SpeedupRow, error) {
 		return apps.LULESH(apps.LULESHConfig{Edge: edge, Steps: steps})
 	}
 	var rows []SpeedupRow
-	r, err := speedupSweep("PSG", fmt.Sprintf("%d^3/task", edge), topo.PSG, psgTasks, 1, prog)
+	r, err := speedupSweep(opt, "PSG", fmt.Sprintf("%d^3/task", edge), topo.PSG, psgTasks, 1, prog)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, r...)
-	r, err = speedupSweep("Beacon", fmt.Sprintf("%d^3/task", edge), beaconSys, beaconTasks, 1, prog)
+	r, err = speedupSweep(opt, "Beacon", fmt.Sprintf("%d^3/task", edge), beaconSys, beaconTasks, 1, prog)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, r...)
-	r, err = speedupSweep("Titan", fmt.Sprintf("%d^3/task", edge), titanSys, titanTasks, titanBase, prog)
+	r, err = speedupSweep(opt, "Titan", fmt.Sprintf("%d^3/task", edge), titanSys, titanTasks, titanBase, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -466,7 +466,7 @@ func Ext2D(opt Options) ([]Ext2DRow, error) {
 	}
 	var rows []Ext2DRow
 	for _, tc := range taskCounts {
-		cfg := baseCfg(topo.PSG(), core.IMPACC, tc, false)
+		cfg := baseCfg(opt, topo.PSG(), core.IMPACC, tc, false)
 		e1, r1, err := elapsedOf(cfg, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
 		if err != nil {
 			return nil, err

@@ -37,7 +37,7 @@ func Fig5(opt Options) ([]Fig5Result, error) {
 	}
 	var out []Fig5Result
 	for _, style := range []apps.Style{apps.StyleSync, apps.StyleAsync, apps.StyleUnified} {
-		cfg := baseCfg(topo.PSG(), core.IMPACC, 2, false)
+		cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 2, false)
 		issue := make([]sim.Time, 2)
 		rep, err := core.Run(cfg, fig5Prog(style, n, issue))
 		if err != nil {
@@ -141,7 +141,7 @@ func Fig6(opt Options) ([]Fig6Result, error) {
 		res.Pair = pair
 		for _, mode := range []core.Mode{core.Legacy, core.IMPACC} {
 			times := &p2pTimes{}
-			cfg := baseCfg(topo.PSG(), mode, 2, false)
+			cfg := baseCfg(opt, topo.PSG(), mode, 2, false)
 			cfg.Pin = core.PinNear // isolate the transport path from pinning
 			rep, err := core.Run(cfg, p2pProg(pair, n, mode == core.Legacy, times))
 			if err != nil {
@@ -192,7 +192,7 @@ type Fig7Result struct {
 func Fig7(opt Options) ([]Fig7Result, error) {
 	var out []Fig7Result
 	for _, ro := range []bool{false, true} {
-		cfg := baseCfg(topo.PSG(), core.IMPACC, 2, true)
+		cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 2, true)
 		var elapsed sim.Dur
 		prog := func(t *core.Task) {
 			const elems = 10
@@ -286,7 +286,7 @@ func Fig8(opt Options) ([]Fig8Row, error) {
 			for _, size := range fig8Sizes(opt) {
 				row := Fig8Row{System: s.name, Dir: dir, Bytes: size}
 				for _, pin := range []core.PinPolicy{core.PinNear, core.PinFar} {
-					cfg := baseCfg(s.sys(), core.IMPACC, 1, false)
+					cfg := baseCfg(opt, s.sys(), core.IMPACC, 1, false)
 					cfg.Pin = pin
 					var elapsed sim.Dur
 					_, err := core.Run(cfg, func(t *core.Task) {
@@ -410,7 +410,7 @@ func Fig9(opt Options) ([]Fig9Row, error) {
 				row := Fig9Row{Panel: p.name + " " + pair, Bytes: size}
 				for _, mode := range []core.Mode{core.IMPACC, core.Legacy} {
 					times := &p2pTimes{}
-					cfg := baseCfg(p.sys(), mode, 2, false)
+					cfg := baseCfg(opt, p.sys(), mode, 2, false)
 					cfg.Pin = core.PinNear // isolate the transport path
 					_, err := core.Run(cfg, p2pProg(pair, size, mode == core.Legacy, times))
 					if err != nil {

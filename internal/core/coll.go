@@ -85,6 +85,7 @@ func (c *Comm) Barrier() {
 		s.Done.Wait(t.proc)
 		r.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("barrier", start)
 		t.checkCmd(s)
 		t.checkCmd(r)
 		round++
@@ -138,7 +139,10 @@ func (c *Comm) Bcast(addr xmem.Addr, count int, dt mpi.Datatype, root int, opts 
 	leaders, myLeader := c.leaders(root)
 
 	start := t.proc.Now()
-	defer func() { t.commTime += dur(t.proc.Now() - start) }()
+	defer func() {
+		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("bcast", start)
+	}()
 
 	// Phase 1 among node leaders: a segmented pipelined binomial tree for
 	// small and medium payloads; bandwidth-optimal scatter + ring
@@ -297,6 +301,7 @@ func (c *Comm) Reduce(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, 
 		}
 		t.tempFree(tmp)
 		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("reduce", start)
 	}
 }
 
@@ -320,6 +325,7 @@ func (c *Comm) Gather(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr x
 		s := t.postSend(t.proc, sbuf, bytes, c.ranks[root], base-1, o)
 		s.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("gather", start)
 		t.checkCmd(s)
 		return
 	}
@@ -339,6 +345,7 @@ func (c *Comm) Gather(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr x
 		t.checkCmd(r)
 	}
 	t.commTime += dur(t.proc.Now() - start)
+	t.mpiObserve("gather", start)
 }
 
 // Scatter is MPI_Scatter: block rank*count of the root's send buffer lands
@@ -355,6 +362,7 @@ func (c *Comm) Scatter(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr 
 		r := t.postRecv(t.proc, rbuf, bytes, c.ranks[root], base-1, o)
 		r.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("scatter", start)
 		t.checkCmd(r)
 		return
 	}
@@ -374,6 +382,7 @@ func (c *Comm) Scatter(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr 
 		t.checkCmd(s)
 	}
 	t.commTime += dur(t.proc.Now() - start)
+	t.mpiObserve("scatter", start)
 }
 
 // Allgather is MPI_Allgather: Gather to rank 0 followed by a Bcast of the
@@ -410,6 +419,7 @@ func (c *Comm) Alltoall(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr
 		t.checkCmd(r)
 	}
 	t.commTime += dur(t.proc.Now() - start)
+	t.mpiObserve("alltoall", start)
 }
 
 // ---- helpers -----------------------------------------------------------
@@ -494,6 +504,7 @@ func (c *Comm) Scan(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, op
 		t.checkCmd(s)
 	}
 	t.commTime += dur(t.proc.Now() - start)
+	t.mpiObserve("scan", start)
 }
 
 // ReduceScatter is MPI_Reduce_scatter_block over MPI_COMM_WORLD.
@@ -522,6 +533,7 @@ func (c *Comm) Gatherv(sendAddr xmem.Addr, sendCount int, dt mpi.Datatype,
 		s := t.postSend(t.proc, sbuf, sbytes, c.ranks[root], base-1, o)
 		s.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("gatherv", start)
 		t.checkCmd(s)
 		return
 	}
@@ -551,6 +563,7 @@ func (c *Comm) Gatherv(sendAddr xmem.Addr, sendCount int, dt mpi.Datatype,
 		t.checkCmd(r)
 	}
 	t.commTime += dur(t.proc.Now() - start)
+	t.mpiObserve("gatherv", start)
 }
 
 // Scatterv is MPI_Scatterv: the root sends counts[i] elements from offset
@@ -568,6 +581,7 @@ func (c *Comm) Scatterv(sendAddr xmem.Addr, counts, displs []int, dt mpi.Datatyp
 		r := t.postRecv(t.proc, rbuf, rbytes, c.ranks[root], base-1, o)
 		r.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
+		t.mpiObserve("scatterv", start)
 		t.checkCmd(r)
 		return
 	}
@@ -597,6 +611,7 @@ func (c *Comm) Scatterv(sendAddr xmem.Addr, counts, displs []int, dt mpi.Datatyp
 		t.checkCmd(s)
 	}
 	t.commTime += dur(t.proc.Now() - start)
+	t.mpiObserve("scatterv", start)
 }
 
 // Gatherv is MPI_Gatherv over MPI_COMM_WORLD.

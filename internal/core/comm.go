@@ -198,6 +198,7 @@ func (c *Comm) Probe(src, tag int, dt mpi.Datatype) int {
 	for {
 		if ok, n := c.Iprobe(src, tag, dt); ok {
 			t.commTime += dur(t.proc.Now() - start)
+			t.mpiObserve("probe", start)
 			return n
 		}
 		if t.proc.Now()-start > sim.Time(60*sim.Second) {

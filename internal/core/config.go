@@ -17,6 +17,7 @@ import (
 
 	"impacc/internal/msg"
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 )
 
@@ -105,6 +106,10 @@ type Config struct {
 	// Trace, when non-nil, collects per-task execution spans (kernels,
 	// copies, MPI blocking, host compute) for timeline export.
 	Trace *Tracer
+	// Metrics, when non-nil, is adopted as the engine's telemetry registry,
+	// letting several runs (e.g. a benchmark sweep) aggregate into one
+	// registry. Nil keeps the engine's own fresh registry.
+	Metrics *telemetry.Registry
 }
 
 // validate normalizes and checks the configuration.

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"strconv"
+
+	"impacc/internal/sim"
+)
+
+// MPILatencyNs is the histogram family of per-task MPI operation
+// latencies, labeled by rank and op (send, recv, isend, irecv, wait,
+// barrier, bcast, reduce, gather, scatter, alltoall, scan, gatherv,
+// scatterv, probe). Buckets are powers of two in virtual nanoseconds.
+const MPILatencyNs = "core_mpi_latency_ns"
+
+// mpiObserve records one completed MPI operation's latency for the task.
+// Histograms are created lazily per (rank, op) so only ops a task actually
+// issues allocate series.
+func (t *Task) mpiObserve(op string, start sim.Time) {
+	h := t.mpiLat[op]
+	if h == nil {
+		h = t.rt.Eng.Metrics.Histogram(MPILatencyNs,
+			"per-task MPI operation latency by op",
+			"rank", strconv.Itoa(t.rank), "op", op)
+		t.mpiLat[op] = h
+	}
+	h.Observe(int64(t.proc.Now() - start))
+}

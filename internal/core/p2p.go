@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"impacc/internal/mpi"
 	"impacc/internal/msg"
@@ -121,6 +122,7 @@ func (t *Task) commWait(ev *sim.Event) {
 	start := t.proc.Now()
 	ev.Wait(t.proc)
 	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.mpiObserve("wait", start)
 	t.span("mpi", "wait", start)
 }
 
@@ -186,6 +188,7 @@ func (t *Task) sendOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, dst, 
 	cmd := t.postSend(t.proc, buf, bytes, wdst, tag, o)
 	cmd.Done.Wait(t.proc)
 	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.mpiObserve("send", start)
 	t.span("mpi", "send", start)
 	t.checkCmd(cmd)
 }
@@ -210,6 +213,7 @@ func (t *Task) recvOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, src, 
 	cmd := t.postRecv(t.proc, buf, bytes, wsrc, tag, o)
 	cmd.Done.Wait(t.proc)
 	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.mpiObserve("recv", start)
 	t.span("mpi", "recv", start)
 	t.checkCmd(cmd)
 }
@@ -229,6 +233,7 @@ func (t *Task) isendOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, dst,
 	start := t.proc.Now()
 	cmd := t.postSend(t.proc, buf, bytes, wdst, tag, o)
 	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.mpiObserve("isend", start)
 	return &Request{done: cmd.Done, cmd: cmd}
 }
 
@@ -250,6 +255,7 @@ func (t *Task) irecvOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, src,
 	start := t.proc.Now()
 	cmd := t.postRecv(t.proc, buf, bytes, wsrc, tag, o)
 	t.commTime += sim.Dur(t.proc.Now() - start)
+	t.mpiObserve("irecv", start)
 	return &Request{done: cmd.Done, cmd: cmd}
 }
 
@@ -288,10 +294,17 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 		t.failf("async MPI (%s) requires the IMPACC unified activity queue", name)
 	}
 	op := &uqOp{proxy: t.rt.Eng.NewEvent(name + "-done")}
+	hop := strings.TrimPrefix(name, "mpi_")
 	t.env.Stream(q).EnqueueFunc(name, func(p *sim.Proc) {
+		start := p.Now()
 		cmd := init(p)
 		op.cmd = cmd
-		cmd.Done.OnFire(op.proxy.Fire)
+		cmd.Done.OnFire(func() {
+			// Latency of the queued op itself: from when the queue
+			// reached it to command completion.
+			t.mpiObserve(hop, start)
+			op.proxy.Fire()
+		})
 	})
 	t.uqPending[q] = append(t.uqPending[q], op)
 	return &Request{done: op.proxy, uq: op}

@@ -8,6 +8,7 @@ import (
 	"impacc/internal/device"
 	"impacc/internal/msg"
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 )
 
@@ -46,6 +47,9 @@ type Report struct {
 	Elapsed sim.Dur // max task end time
 	Tasks   []TaskReport
 	Hubs    []HubReport
+	// Metrics is the full telemetry registry snapshot taken at run end,
+	// after link utilization gauges are recorded. See internal/telemetry.
+	Metrics *telemetry.Snapshot
 }
 
 func (rt *Runtime) buildReport() *Report {
@@ -82,7 +86,7 @@ func (rt *Runtime) buildReport() *Report {
 		nr := rt.Fab.Node(n)
 		hr := HubReport{
 			Node:        n,
-			Stats:       ns.hub.Stats,
+			Stats:       ns.hub.Stats(),
 			HandlerBusy: ns.hub.HandlerBusy(),
 			NICOutBusy:  nr.NICOut.BusyTime,
 			NICInBusy:   nr.NICIn.BusyTime,
@@ -96,6 +100,11 @@ func (rt *Runtime) buildReport() *Report {
 			}
 		}
 		r.Hubs = append(r.Hubs, hr)
+	}
+	rt.Fab.RecordUtilization(rt.Eng.Metrics, r.Elapsed)
+	r.Metrics = rt.Eng.Metrics.Snapshot(int64(rt.Eng.Now()))
+	if rt.Cfg.Trace != nil {
+		rt.Cfg.Trace.AttachMetrics(r.Metrics)
 	}
 	return r
 }

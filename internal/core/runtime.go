@@ -88,6 +88,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		feats: cfg.features(),
 		nodes: map[int]*nodeState{},
 	}
+	if cfg.Metrics != nil {
+		// Adopt before any resources exist so every FIFOResource, hub
+		// counter, and histogram registers into the shared registry.
+		rt.Eng.AdoptMetrics(cfg.Metrics)
+	}
 	rt.Fab = topo.NewFabric(rt.Eng, cfg.System)
 	rt.placements = BuildMapping(cfg.System, cfg.DeviceTypes, cfg.MaxTasks)
 	if len(rt.placements) == 0 {

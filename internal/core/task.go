@@ -9,6 +9,7 @@ import (
 	"impacc/internal/mpi"
 	"impacc/internal/msg"
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 	"impacc/internal/xmem"
 )
@@ -32,9 +33,11 @@ type Task struct {
 
 	commTime sim.Dur
 	hostTime sim.Dur
-	endAt    sim.Time
-	err      error
-	collSeq  int
+	// mpiLat caches the task's per-op MPI latency histograms.
+	mpiLat  map[string]*telemetry.Histogram
+	endAt   sim.Time
+	err     error
+	collSeq int
 	// scratch is a tiny runtime-internal buffer used as the payload of
 	// synchronization-only messages (barriers).
 	scratch xmem.Addr
@@ -79,6 +82,7 @@ func (rt *Runtime) newTask(rank int, pl Placement, ns *nodeState) *Task {
 	t.rng = sim.NewRNG(rt.Cfg.Seed ^ (uint64(rank)*0x9E3779B97F4A7C15 + 0x1234567))
 	t.scratch, _ = t.space.AllocHost(64, false)
 	t.uqPending = map[int][]*uqOp{}
+	t.mpiLat = map[string]*telemetry.Histogram{}
 	t.world = rt.newWorld(t)
 	return t
 }

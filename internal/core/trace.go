@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 )
 
 // Span is one traced interval of virtual time on a task's timeline.
@@ -23,8 +25,15 @@ type Span struct {
 // engine runs one process at a time, so appends need no locking; spans are
 // in completion order.
 type Tracer struct {
-	spans []Span
+	spans   []Span
+	metrics *telemetry.Snapshot
 }
+
+// AttachMetrics attaches a run-end metrics snapshot. WriteChromeTrace then
+// emits its counter and gauge series as Chrome counter events ("C"), so
+// hub counters and link utilization appear alongside the span timeline.
+// The runtime attaches the report snapshot automatically when tracing.
+func (tr *Tracer) AttachMetrics(snap *telemetry.Snapshot) { tr.metrics = snap }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
@@ -62,13 +71,14 @@ func (tr *Tracer) WriteJSON(w io.Writer) error {
 // events), loadable in chrome://tracing and Perfetto. pid = node,
 // tid = rank, timestamps in microseconds of virtual time.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string             `json:"name"`
+	Cat  string             `json:"cat"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
 }
 
 // WriteChromeTrace emits the spans in Chrome trace event format.
@@ -85,9 +95,48 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			Tid:  s.Rank,
 		})
 	}
+	events = append(events, tr.counterEvents()...)
 	return json.NewEncoder(w).Encode(struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{events})
+}
+
+// counterEvents converts the attached snapshot's counter and gauge series
+// into Chrome counter events at the time of their last mutation. Histograms
+// and the (potentially huge) per-resource monitor families are left to the
+// JSON/Prometheus exports.
+func (tr *Tracer) counterEvents() []chromeEvent {
+	if tr.metrics == nil {
+		return nil
+	}
+	var out []chromeEvent
+	for _, f := range tr.metrics.Families {
+		if f.Kind == "histogram" || strings.HasPrefix(f.Name, "sim_resource_") {
+			continue
+		}
+		for _, s := range f.Series {
+			v := float64(s.Value)
+			if f.Kind == "gauge" {
+				v = s.GaugeValue
+			}
+			name := f.Name
+			if len(s.Labels) > 0 {
+				parts := make([]string, 0, len(s.Labels))
+				for _, l := range s.Labels {
+					parts = append(parts, l.Key+"="+l.Value)
+				}
+				name += "{" + strings.Join(parts, ",") + "}"
+			}
+			out = append(out, chromeEvent{
+				Name: name,
+				Cat:  "metric",
+				Ph:   "C",
+				Ts:   float64(s.LastNs) / 1e3,
+				Args: map[string]float64{"value": v},
+			})
+		}
+	}
+	return out
 }
 
 // span records an interval on the task's timeline when tracing is enabled.

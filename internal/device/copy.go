@@ -53,6 +53,9 @@ func (c *Context) Record(dir Direction, n int64, elapsed sim.Dur) { c.record(dir
 
 // record accumulates one finished copy into the context stats.
 func (c *Context) record(dir Direction, n int64, elapsed sim.Dur) {
+	if h := c.copyBytes[dir]; h != nil {
+		h.Observe(n)
+	}
 	switch dir {
 	case HtoH:
 		c.Stats.HtoHCount++

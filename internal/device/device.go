@@ -14,10 +14,22 @@ package device
 
 import (
 	"fmt"
+	"strconv"
 
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 	"impacc/internal/xmem"
+)
+
+// Telemetry family names.
+const (
+	// KernelDurationNs is a histogram of kernel durations, labeled by
+	// node, dev, and stream (Figure 11's kernel column, per queue).
+	KernelDurationNs = "device_kernel_duration_ns"
+	// CopyBytes is a histogram of copy sizes, labeled by node, dev, and
+	// dir (HtoH/HtoD/DtoH/DtoD — Figure 14's copy categories).
+	CopyBytes = "device_copy_bytes"
 )
 
 // API distinguishes the CUDA-style driver from the OpenCL-style runtime.
@@ -198,11 +210,22 @@ type Context struct {
 	Pinned bool
 
 	unpinnedFlip bool
+	// copyBytes holds the per-direction copy-size histograms, indexed by
+	// Direction. Contexts on the same device share the series.
+	copyBytes [4]*telemetry.Histogram
 }
 
 // NewContext binds device dev to an address space and pin socket.
 func (rt *Runtime) NewContext(dev int, space *xmem.Space, socket int, backed, pinned bool) *Context {
-	return &Context{Dev: rt.Devices[dev], Space: space, Socket: socket, Backed: backed, Pinned: pinned}
+	c := &Context{Dev: rt.Devices[dev], Space: space, Socket: socket, Backed: backed, Pinned: pinned}
+	if reg := rt.Eng.Metrics; reg != nil {
+		node, di := rt.Spec.Name, strconv.Itoa(dev)
+		for _, dir := range []Direction{HtoH, HtoD, DtoH, DtoD} {
+			c.copyBytes[dir] = reg.Histogram(CopyBytes, "memory copy sizes by direction",
+				"node", node, "dev", di, "dir", dir.String())
+		}
+	}
+	return c
 }
 
 // effSocket resolves the socket a transfer is initiated from. Unpinned

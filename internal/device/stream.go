@@ -2,8 +2,10 @@ package device
 
 import (
 	"fmt"
+	"strconv"
 
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/xmem"
 )
 
@@ -15,11 +17,12 @@ type Stream struct {
 	ID  int
 	Ctx *Context
 
-	q        *sim.Queue
-	proc     *sim.Proc
-	closed   bool
-	lastDone *sim.Event
-	pending  int
+	q          *sim.Queue
+	proc       *sim.Proc
+	closed     bool
+	lastDone   *sim.Event
+	pending    int
+	kernelHist *telemetry.Histogram
 }
 
 // streamOp is one queue entry.
@@ -36,6 +39,10 @@ type streamOp struct {
 func (c *Context) NewStream(id int) *Stream {
 	eng := c.Dev.rt.Eng
 	s := &Stream{ID: id, Ctx: c, q: eng.NewQueue(fmt.Sprintf("stream%d", id))}
+	if reg := eng.Metrics; reg != nil {
+		s.kernelHist = reg.Histogram(KernelDurationNs, "kernel durations by activity queue",
+			"node", c.Dev.rt.Spec.Name, "dev", strconv.Itoa(c.Dev.Index), "stream", strconv.Itoa(id))
+	}
 	done := eng.NewEvent("stream-init")
 	done.Fire()
 	s.lastDone = done
@@ -106,6 +113,9 @@ func (s *Stream) EnqueueKernel(k KernelSpec) *sim.Event {
 		}
 		s.Ctx.Stats.KernelCount++
 		s.Ctx.Stats.KernelTime += dur
+		if s.kernelHist != nil {
+			s.kernelHist.Observe(int64(dur))
+		}
 		if s.Ctx.Trace != nil {
 			s.Ctx.Trace("kernel", k.Name, start, start+sim.Time(dur))
 		}

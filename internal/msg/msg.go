@@ -18,6 +18,7 @@ import (
 	"impacc/internal/device"
 	"impacc/internal/mpsc"
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 	"impacc/internal/xmem"
 )
@@ -130,8 +131,9 @@ type netMsg struct {
 	direct bool
 }
 
-// Stats are the hub's counters, used by the Figure 6/7 experiments and the
-// run report.
+// Stats is a snapshot of the hub's counters, used by the Figure 6/7
+// experiments and the run report. The live counts are telemetry counters
+// (the single source of truth); Hub.Stats materializes this view.
 type Stats struct {
 	IntraMsgs    uint64 // intra-node commands processed
 	NetIn        uint64 // internode messages received
@@ -143,16 +145,42 @@ type Stats struct {
 	Staged       uint64 // internode transfers staged through host memory
 }
 
+// Telemetry family names. Every hub counter family carries a node label.
+const (
+	IntraMsgsTotal    = "msg_intra_msgs_total"
+	NetInTotal        = "msg_net_in_total"
+	NetOutTotal       = "msg_net_out_total"
+	FusedCopiesTotal  = "msg_fused_copies_total"
+	LegacyCopiesTotal = "msg_legacy_copies_total"
+	AliasesTotal      = "msg_aliases_total"
+	RDMADirectTotal   = "msg_rdma_direct_total"
+	StagedTotal       = "msg_staged_total"
+	// IntraQueuePeak / PendingNetPeak gauge the deepest observed backlog
+	// of the intra-node message queue and the pending internode message
+	// queue (§3.7 handler pressure).
+	IntraQueuePeak = "msg_intra_queue_peak"
+	PendingNetPeak = "msg_pending_net_peak"
+)
+
+// hubCounters are the hub's live telemetry handles.
+type hubCounters struct {
+	intraMsgs, netIn, netOut       *telemetry.Counter
+	fusedCopies, legacyCopies      *telemetry.Counter
+	aliases, rdmaDirect, staged    *telemetry.Counter
+	intraQueuePeak, pendingNetPeak *telemetry.Gauge
+}
+
 // Hub is the per-node message engine. Under IMPACC it embodies the single
 // message handler thread of Figure 1; under legacy it stands in for the
 // underlying MPI library's shared-memory transport.
 type Hub struct {
-	Eng   *sim.Engine
-	Fab   *topo.Fabric
-	Node  int
-	Cfg   Config
-	Heap  *xmem.HeapTable
-	Stats Stats
+	Eng  *sim.Engine
+	Fab  *topo.Fabric
+	Node int
+	Cfg  Config
+	Heap *xmem.HeapTable
+
+	ctr hubCounters
 
 	intraQ   *mpsc.Queue[*Cmd]    // intra-node message queue
 	pendingQ *mpsc.Queue[*netMsg] // pending internode message queue
@@ -176,10 +204,41 @@ func NewHub(eng *sim.Engine, fab *topo.Fabric, node int, cfg Config, heap *xmem.
 		pendingQ:   mpsc.New[*netMsg](),
 		handlerCPU: eng.NewFIFOResource(fmt.Sprintf("%s/handler", fab.Sys.Nodes[node].Name)),
 	}
+	reg := eng.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry() // detached hub (tests); keep counting
+	}
+	name := fab.Sys.Nodes[node].Name
+	h.ctr = hubCounters{
+		intraMsgs:      reg.Counter(IntraMsgsTotal, "intra-node commands processed", "node", name),
+		netIn:          reg.Counter(NetInTotal, "internode messages received", "node", name),
+		netOut:         reg.Counter(NetOutTotal, "internode messages sent", "node", name),
+		fusedCopies:    reg.Counter(FusedCopiesTotal, "matched pairs served by one fused copy", "node", name),
+		legacyCopies:   reg.Counter(LegacyCopiesTotal, "legacy shared-memory transport copies", "node", name),
+		aliases:        reg.Counter(AliasesTotal, "pairs served by node heap aliasing", "node", name),
+		rdmaDirect:     reg.Counter(RDMADirectTotal, "internode transfers using GPUDirect RDMA", "node", name),
+		staged:         reg.Counter(StagedTotal, "internode transfers staged through host memory", "node", name),
+		intraQueuePeak: reg.Gauge(IntraQueuePeak, "deepest observed intra-node message queue backlog", "node", name),
+		pendingNetPeak: reg.Gauge(PendingNetPeak, "deepest observed pending internode message backlog", "node", name),
+	}
 	if !cfg.ThreadMultiple {
 		h.serial = eng.NewSemaphore(1, fmt.Sprintf("hub%d-serial", node))
 	}
 	return h
+}
+
+// Stats snapshots the hub's telemetry counters into the legacy view.
+func (h *Hub) Stats() Stats {
+	return Stats{
+		IntraMsgs:    uint64(h.ctr.intraMsgs.Value()),
+		NetIn:        uint64(h.ctr.netIn.Value()),
+		NetOut:       uint64(h.ctr.netOut.Value()),
+		FusedCopies:  uint64(h.ctr.fusedCopies.Value()),
+		LegacyCopies: uint64(h.ctr.legacyCopies.Value()),
+		Aliases:      uint64(h.ctr.aliases.Value()),
+		RDMADirect:   uint64(h.ctr.rdmaDirect.Value()),
+		Staged:       uint64(h.ctr.staged.Value()),
+	}
 }
 
 // dispatch schedules the handler thread to consume the next queued item
@@ -215,8 +274,9 @@ func (h *Hub) PostIntra(p *sim.Proc, cmd *Cmd) {
 	if over > 0 {
 		p.Sleep(over)
 	}
-	h.Stats.IntraMsgs++
+	h.ctr.intraMsgs.Inc()
 	h.intraQ.Push(cmd)
+	h.ctr.intraQueuePeak.SetMax(float64(h.intraQ.Len()))
 	h.dispatch(false)
 }
 
@@ -338,10 +398,10 @@ func (h *Hub) completePair(send, recv *Cmd) {
 			func() sim.Time { return h.Fab.ShmCopyAsync(h.Node, n) },
 			func() sim.Time { return h.Fab.ShmCopyAsync(h.Node, n) },
 		)
-		h.Stats.LegacyCopies += 2
+		h.ctr.legacyCopies.Add(2)
 	} else {
 		stages = h.fusedStages(dir, dloc, sloc, n)
-		h.Stats.FusedCopies++
+		h.ctr.fusedCopies.Inc()
 	}
 	h.runChain(stages, func() {
 		if err := xmem.CopyBetween(recv.Ep.Space, recv.Addr, send.Ep.Space, send.Addr, n); err != nil {
@@ -426,7 +486,7 @@ func (h *Hub) tryAlias(send, recv *Cmd) bool {
 		return false
 	}
 	h.Heap.Drop(recv.Addr)
-	h.Stats.Aliases++
+	h.ctr.aliases.Inc()
 	send.Aliased, recv.Aliased = true, true
 	at := h.Eng.Now() + sim.Time(h.Cfg.AliasOverhead)
 	h.Eng.At(at, func() {

@@ -97,10 +97,10 @@ func TestIntraFusedHtoH(t *testing.T) {
 			t.Fatalf("payload mismatch at %d", i)
 		}
 	}
-	if r.hub.Stats.FusedCopies != 1 {
-		t.Fatalf("fused = %d, want 1 (Figure 6)", r.hub.Stats.FusedCopies)
+	if r.hub.Stats().FusedCopies != 1 {
+		t.Fatalf("fused = %d, want 1 (Figure 6)", r.hub.Stats().FusedCopies)
 	}
-	if r.hub.Stats.Aliases != 0 {
+	if r.hub.Stats().Aliases != 0 {
 		t.Fatal("non-readonly pair must not alias")
 	}
 	if s.Err != nil || rc.Err != nil {
@@ -248,10 +248,10 @@ func TestNodeHeapAliasingApplies(t *testing.T) {
 		rc.Done.Wait(p)
 	})
 	r.run(t)
-	if !s.Aliased || !rc.Aliased || r.hub.Stats.Aliases != 1 {
-		t.Fatalf("aliasing not applied: %v %v %d", s.Aliased, rc.Aliased, r.hub.Stats.Aliases)
+	if !s.Aliased || !rc.Aliased || r.hub.Stats().Aliases != 1 {
+		t.Fatalf("aliasing not applied: %v %v %d", s.Aliased, rc.Aliased, r.hub.Stats().Aliases)
 	}
-	if r.hub.Stats.FusedCopies != 0 {
+	if r.hub.Stats().FusedCopies != 0 {
 		t.Fatal("aliased pair must not copy")
 	}
 	// Receiver reads the sender's data through its own pointer.
@@ -327,7 +327,7 @@ func TestAliasingRequirements(t *testing.T) {
 			if rc.Err != nil {
 				t.Fatalf("%s: pair errored: %v", v.name, rc.Err)
 			}
-			if r.hub.Stats.FusedCopies != 1 {
+			if r.hub.Stats().FusedCopies != 1 {
 				t.Fatalf("%s: expected fallback fused copy", v.name)
 			}
 		})
@@ -349,7 +349,7 @@ func TestDeviceBuffersNeverAlias(t *testing.T) {
 	if s.Aliased {
 		t.Fatal("device buffers must not alias (requirement 2)")
 	}
-	if r.hub.Stats.FusedCopies != 1 {
+	if r.hub.Stats().FusedCopies != 1 {
 		t.Fatal("expected a fused DtoD copy")
 	}
 	if e1.Ctx.Stats.DtoDCount != 1 {
@@ -380,8 +380,8 @@ func TestLegacyIntraIsSlowerThanFused(t *testing.T) {
 			elapsed = sim.Dur(p.Now() - start)
 		})
 		r.run(t)
-		if cfg.Legacy && r.hub.Stats.LegacyCopies != 2 {
-			t.Fatalf("legacy copies = %d, want 2 (redundant HtoH)", r.hub.Stats.LegacyCopies)
+		if cfg.Legacy && r.hub.Stats().LegacyCopies != 2 {
+			t.Fatalf("legacy copies = %d, want 2 (redundant HtoH)", r.hub.Stats().LegacyCopies)
 		}
 		return elapsed
 	}
@@ -464,8 +464,8 @@ func TestInternodeHostToHost(t *testing.T) {
 			t.Fatalf("payload mismatch at %d", i)
 		}
 	}
-	if h0.Stats.NetOut != 1 || h1.Stats.NetIn != 1 {
-		t.Fatalf("net counters: out=%d in=%d", h0.Stats.NetOut, h1.Stats.NetIn)
+	if h0.Stats().NetOut != 1 || h1.Stats().NetIn != 1 {
+		t.Fatalf("net counters: out=%d in=%d", h0.Stats().NetOut, h1.Stats().NetIn)
 	}
 	if rc.Err != nil {
 		t.Fatal(rc.Err)
@@ -498,11 +498,11 @@ func TestInternodeDeviceRDMAvsStaged(t *testing.T) {
 	}
 	direct, h0d, _ := run(true)
 	staged, h0s, h1s := run(false)
-	if h0d.Stats.RDMADirect != 1 || h0d.Stats.Staged != 0 {
-		t.Fatalf("RDMA run: direct=%d staged=%d", h0d.Stats.RDMADirect, h0d.Stats.Staged)
+	if h0d.Stats().RDMADirect != 1 || h0d.Stats().Staged != 0 {
+		t.Fatalf("RDMA run: direct=%d staged=%d", h0d.Stats().RDMADirect, h0d.Stats().Staged)
 	}
-	if h0s.Stats.Staged != 1 || h1s.Stats.Staged != 1 {
-		t.Fatalf("staged run: sender staged=%d recv staged=%d", h0s.Stats.Staged, h1s.Stats.Staged)
+	if h0s.Stats().Staged != 1 || h1s.Stats().Staged != 1 {
+		t.Fatalf("staged run: sender staged=%d recv staged=%d", h0s.Stats().Staged, h1s.Stats().Staged)
 	}
 	if direct >= staged {
 		t.Fatalf("GPUDirect RDMA (%v) must beat staging (%v) — Figure 9 g-i", direct, staged)
@@ -595,7 +595,7 @@ func TestUnbackedPayloadTimingOnly(t *testing.T) {
 	if rc.Err != nil {
 		t.Fatal(rc.Err)
 	}
-	if r.hub.Stats.FusedCopies != 1 {
+	if r.hub.Stats().FusedCopies != 1 {
 		t.Fatal("unbacked transfer must still be priced")
 	}
 }
@@ -653,8 +653,8 @@ func TestFusedSameDeviceCopy(t *testing.T) {
 		rc.Done.Wait(p)
 	})
 	r.run(t)
-	if rc.Err != nil || r.hub.Stats.FusedCopies != 1 {
-		t.Fatalf("same-device fusion failed: %v, %d", rc.Err, r.hub.Stats.FusedCopies)
+	if rc.Err != nil || r.hub.Stats().FusedCopies != 1 {
+		t.Fatalf("same-device fusion failed: %v, %d", rc.Err, r.hub.Stats().FusedCopies)
 	}
 	if r.hub.HandlerBusy() == 0 {
 		t.Fatal("handler busy time not accounted")

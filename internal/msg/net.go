@@ -38,7 +38,7 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 	if cmd.Bytes == 0 {
 		// Zero-byte message: a bare network round of latency only.
 		unlock()
-		h.Stats.NetOut++
+		h.ctr.netOut.Inc()
 		end := h.Fab.NetSendAsync(h.Node, dst.Node, 0)
 		m := &netMsg{Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, SrcEp: cmd.Ep}
 		h.Eng.At(end, func() {
@@ -86,10 +86,10 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 			return end
 		}
 		stages = append(stages, stage)
-		h.Stats.Staged++
+		h.ctr.staged.Inc()
 	}
 	if direct {
-		h.Stats.RDMADirect++
+		h.ctr.rdmaDirect.Inc()
 	}
 	if !staged {
 		unlock() // host-memory and RDMA sends release the call lock here
@@ -98,7 +98,7 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 	stages = append(stages, func() sim.Time {
 		return h.Fab.NetSendAsync(srcNode, dstNode, n)
 	})
-	h.Stats.NetOut++
+	h.ctr.netOut.Inc()
 	m := &netMsg{
 		Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, Bytes: n,
 		SrcEp: cmd.Ep, SrcAddr: cmd.Addr, snapshot: cmd.snapshot,
@@ -114,6 +114,7 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 // message queue and wakes the handler.
 func (h *Hub) deliver(m *netMsg) {
 	h.pendingQ.Push(m)
+	h.ctr.pendingNetPeak.SetMax(float64(h.pendingQ.Len()))
 	h.dispatch(true)
 }
 
@@ -130,6 +131,7 @@ func (h *Hub) PostNetRecv(p *sim.Proc, cmd *Cmd) {
 		h.serial.Release()
 	}
 	h.intraQ.Push(cmd)
+	h.ctr.intraQueuePeak.SetMax(float64(h.intraQ.Len()))
 	h.dispatch(false)
 }
 
@@ -159,7 +161,7 @@ func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
 	recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, m.Bytes
 	if m.Bytes == 0 {
 		recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, 0
-		h.Stats.NetIn++
+		h.ctr.netIn.Inc()
 		recv.Done.Fire()
 		return
 	}
@@ -181,9 +183,9 @@ func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
 		stages = append(stages, func() sim.Time {
 			return h.Fab.PCIeCopyAsync(h.Node, dev, -1, n, true)
 		})
-		h.Stats.Staged++
+		h.ctr.staged.Inc()
 	}
-	h.Stats.NetIn++
+	h.ctr.netIn.Inc()
 	h.runChain(stages, func() {
 		if err := h.landPayload(m, recv, n); err != nil {
 			h.fail(nil, recv, err)

@@ -1,5 +1,7 @@
 package sim
 
+import "impacc/internal/telemetry"
+
 // Synchronization primitives for simulation processes. All of them follow
 // the engine's determinism rule: waiters are woken in FIFO order via
 // scheduled events, never by running inline.
@@ -152,11 +154,29 @@ type FIFOResource struct {
 	// Uses counts completed occupations.
 	Uses uint64
 	name string
+	mon  *telemetry.ResourceMonitor
 }
 
-// NewFIFOResource returns an idle resource.
+// NewFIFOResource returns an idle resource. The resource reports every
+// occupation (queue-wait and busy time) to the engine's metrics registry
+// under its name.
 func (e *Engine) NewFIFOResource(name string) *FIFOResource {
-	return &FIFOResource{eng: e, name: name}
+	r := &FIFOResource{eng: e, name: name}
+	if e.Metrics != nil {
+		r.mon = e.Metrics.Resource(name)
+	}
+	return r
+}
+
+// Monitor exposes the resource's telemetry monitor (nil when the engine
+// carries no registry).
+func (r *FIFOResource) Monitor() *telemetry.ResourceMonitor { return r.mon }
+
+// observe reports one occupation that waited from arrival to start.
+func (r *FIFOResource) observe(arrival, start Time, occupy Dur) {
+	if r.mon != nil {
+		r.mon.Observe(int64(start-arrival), int64(occupy))
+	}
 }
 
 // Name returns the resource's label.
@@ -180,6 +200,7 @@ func (r *FIFOResource) Use(p *Proc, occupy, tail Dur) Time {
 	r.freeAt = start + Time(occupy)
 	r.BusyTime += occupy
 	r.Uses++
+	r.observe(r.eng.now, start, occupy)
 	p.SleepUntil(r.freeAt + Time(tail))
 	return start
 }
@@ -198,6 +219,7 @@ func (r *FIFOResource) UseAsync(occupy Dur) (start, end Time) {
 	r.freeAt = start + Time(occupy)
 	r.BusyTime += occupy
 	r.Uses++
+	r.observe(r.eng.now, start, occupy)
 	return start, r.freeAt
 }
 
@@ -223,6 +245,7 @@ func CoUseAsync(occupy Dur, rs ...*FIFOResource) (start, end Time) {
 		r.freeAt = end
 		r.BusyTime += occupy
 		r.Uses++
+		r.observe(r.eng.now, start, occupy)
 	}
 	return start, end
 }

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"impacc/internal/telemetry"
 )
 
 // Time is an absolute virtual time in nanoseconds since the start of the run.
@@ -100,14 +102,30 @@ type Engine struct {
 
 	// MaxTime, when non-zero, stops the run once the clock would pass it.
 	MaxTime Time
+
+	// Metrics is the engine's telemetry registry. Every FIFOResource
+	// reports occupancy into it, and higher layers (fabric, devices,
+	// message hubs, tasks) register their own families. Replace it (via
+	// AdoptMetrics) before creating resources to aggregate several runs
+	// into one registry.
+	Metrics *telemetry.Registry
 }
 
 // NewEngine returns an engine with an empty event queue at time zero.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		parked: make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
 	}
+	e.AdoptMetrics(telemetry.NewRegistry())
+	return e
+}
+
+// AdoptMetrics makes reg the engine's registry and points its clock at the
+// virtual time, so metric mutations are stamped deterministically.
+func (e *Engine) AdoptMetrics(reg *telemetry.Registry) {
+	e.Metrics = reg
+	reg.SetClock(func() int64 { return int64(e.now) })
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,61 @@
+package telemetry
+
+// ResourceMonitor accumulates the occupancy of one serialized service
+// center (a sim.FIFOResource: PCIe link, QPI hop, NIC side, memory channel,
+// handler CPU, device compute engine). The engine attaches one monitor per
+// resource; every Use/UseAsync/CoUseAsync reports (queue-wait, occupy) so
+// utilization = busy/elapsed and backlog pressure fall out of the registry
+// for free.
+type ResourceMonitor struct {
+	// Busy accumulates occupied nanoseconds.
+	Busy *Counter
+	// Wait accumulates nanoseconds requests spent queued behind earlier
+	// occupations before starting service.
+	Wait *Counter
+	// Uses counts occupations.
+	Uses *Counter
+	// PeakBacklog is the largest single queue-wait observed, in ns — the
+	// worst-case backlog depth of the resource over the run.
+	PeakBacklog *Gauge
+}
+
+// Resource family names.
+const (
+	ResourceBusyNs        = "sim_resource_busy_ns"
+	ResourceWaitNs        = "sim_resource_wait_ns"
+	ResourceUses          = "sim_resource_uses_total"
+	ResourcePeakBacklogNs = "sim_resource_peak_backlog_ns"
+)
+
+// Resource returns the monitor for the named resource, creating its four
+// series (busy, wait, uses, peak backlog) labeled resource=name.
+func (r *Registry) Resource(name string) *ResourceMonitor {
+	return &ResourceMonitor{
+		Busy:        r.Counter(ResourceBusyNs, "accumulated occupied time per serialized resource", "resource", name),
+		Wait:        r.Counter(ResourceWaitNs, "accumulated queue-wait time per serialized resource", "resource", name),
+		Uses:        r.Counter(ResourceUses, "completed occupations per serialized resource", "resource", name),
+		PeakBacklog: r.Gauge(ResourcePeakBacklogNs, "largest single queue-wait observed per serialized resource", "resource", name),
+	}
+}
+
+// Observe records one occupation: the request waited waitNs behind earlier
+// work, then held the resource for occupyNs.
+func (m *ResourceMonitor) Observe(waitNs, occupyNs int64) {
+	m.Busy.Add(occupyNs)
+	m.Wait.Add(waitNs)
+	m.Uses.Inc()
+	m.PeakBacklog.SetMax(float64(waitNs))
+}
+
+// Utilization reports busy/elapsed clamped to [0, 1]; zero when elapsed
+// is not positive.
+func (m *ResourceMonitor) Utilization(elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	u := float64(m.Busy.Value()) / float64(elapsedNs)
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 )
 
 // Fabric materializes a System's shared transfer resources in a simulation
@@ -61,6 +62,42 @@ func NewFabric(eng *sim.Engine, sys *System) *Fabric {
 
 // Node returns the resources of node i.
 func (f *Fabric) Node(i int) *NodeRes { return f.nodes[i] }
+
+// LinkUtilization is the telemetry gauge family carrying per-node link
+// utilization: labels node and link (pcie<N>, inter, membus, nic-out,
+// nic-in), values in [0, 1].
+const LinkUtilization = "fabric_link_utilization"
+
+// RecordUtilization writes one utilization gauge per shared link of every
+// node: accumulated busy time divided by elapsed, clamped to [0, 1]. Call
+// at the end of a run with the run's elapsed virtual time.
+func (f *Fabric) RecordUtilization(reg *telemetry.Registry, elapsed sim.Dur) {
+	if reg == nil || elapsed <= 0 {
+		return
+	}
+	for i := range f.Sys.Nodes {
+		node := f.Sys.Nodes[i].Name
+		nr := f.nodes[i]
+		set := func(link string, r *sim.FIFOResource) {
+			if r == nil {
+				return
+			}
+			u := float64(r.BusyTime) / float64(elapsed)
+			if u > 1 {
+				u = 1
+			}
+			reg.Gauge(LinkUtilization, "per-node shared link utilization over the run",
+				"node", node, "link", link).Set(u)
+		}
+		set("inter", nr.Inter)
+		set("membus", nr.MemBus)
+		set("nic-out", nr.NICOut)
+		set("nic-in", nr.NICIn)
+		for d, p := range nr.PCIe {
+			set(fmt.Sprintf("pcie%d", d), p)
+		}
+	}
+}
 
 // HostCopyAsync prices an intra-node host-to-host memcpy of n bytes and
 // returns its completion time.
