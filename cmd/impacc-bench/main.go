@@ -15,6 +15,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,9 +39,43 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast run")
 		csv     = fs.String("csv", "", "also write <id>.csv files with the raw series into this directory")
 		metrics = fs.String("metrics", "", "write the aggregate telemetry of every run to this file (Prometheus text if it ends in .prom, JSON otherwise)")
+		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "run up to N simulations concurrently (output stays byte-identical)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "impacc-bench: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "impacc-bench: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *list {
@@ -63,23 +99,28 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	opt := bench.Options{Quick: *quick}
+	opt := bench.Options{Quick: *quick}.WithJobs(*jobs)
 	if *metrics != "" {
 		// One registry shared by every run of every selected experiment:
-		// counters and histograms aggregate across the whole sweep.
+		// counters and histograms aggregate across the whole sweep (each run
+		// merges its private registry on completion, so concurrent runs are
+		// safe and order-independent).
 		opt.Metrics = telemetry.NewRegistry()
 	}
-	for _, e := range selected {
-		fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
-		start := time.Now()
-		if err := e.Run(stdout, opt); err != nil {
-			fmt.Fprintf(stderr, "impacc-bench: %s: %v\n", e.ID, err)
+	// Experiments run through the worker pool (up to -j simulations at once)
+	// with buffered output, then print in canonical order: the bytes on
+	// stdout are identical for any -j.
+	for _, r := range bench.RunMany(selected, opt) {
+		fmt.Fprintf(stdout, "==== %s: %s ====\n", r.Exp.ID, r.Exp.Title)
+		stdout.Write(r.Output)
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: %s: %v\n", r.Exp.ID, r.Err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "(%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s wall)\n\n", r.Wall.Round(time.Millisecond))
 		if *csv != "" {
-			if err := writeCSV(*csv, e.ID, opt); err != nil {
-				fmt.Fprintf(stderr, "impacc-bench: csv %s: %v\n", e.ID, err)
+			if err := writeCSV(*csv, r.Exp.ID, opt); err != nil {
+				fmt.Fprintf(stderr, "impacc-bench: csv %s: %v\n", r.Exp.ID, err)
 				return 1
 			}
 		}

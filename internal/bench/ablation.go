@@ -32,7 +32,7 @@ func runFeature(opt Options, sys *topo.System, tasks int, mutate func(f *core.Fe
 	}
 	cfg := baseCfg(opt, sys, core.IMPACC, tasks, false)
 	cfg.Features = &f
-	d, _, err := elapsedOf(cfg, prog)
+	d, _, err := elapsedOf(opt, cfg, prog)
 	return d, err
 }
 
@@ -44,30 +44,25 @@ func Ablations(opt Options) ([]AblationRow, error) {
 		n = 512
 		iters = 3
 	}
-	var rows []AblationRow
-
-	// Message fusion: intra-node DGEMM distribution without fused copies
-	// falls back to the legacy two-copy transport.
-	add := func(name, workload string, sys *topo.System, tasks int,
-		mutate func(*core.Features), prog core.Program) error {
-		off, err := runFeature(opt, sys, tasks, mutate, true, prog)
-		if err != nil {
-			return fmt.Errorf("%s off: %w", name, err)
+	// feature builds a technique job: the same workload with the mutation
+	// applied (off) and with the full feature set (on).
+	feature := func(name, workload string, sys *topo.System, tasks int,
+		mutate func(*core.Features), prog core.Program) func() (AblationRow, error) {
+		return func() (AblationRow, error) {
+			off, err := runFeature(opt, sys, tasks, mutate, true, prog)
+			if err != nil {
+				return AblationRow{}, fmt.Errorf("%s off: %w", name, err)
+			}
+			on, err := runFeature(opt, sys, tasks, mutate, false, prog)
+			if err != nil {
+				return AblationRow{}, fmt.Errorf("%s on: %w", name, err)
+			}
+			return AblationRow{Technique: name, Workload: workload, Off: off, On: on}, nil
 		}
-		on, err := runFeature(opt, sys, tasks, mutate, false, prog)
-		if err != nil {
-			return fmt.Errorf("%s on: %w", name, err)
-		}
-		rows = append(rows, AblationRow{Technique: name, Workload: workload, Off: off, On: on})
-		return nil
 	}
 
 	dgemm := apps.DGEMM(apps.DGEMMConfig{N: n, Style: apps.StyleUnified})
 
-	if err := add("node-heap-aliasing", fmt.Sprintf("DGEMM %d (PSG x8)", n), topo.PSG(), 8,
-		func(f *core.Features) { f.Aliasing = false }, dgemm); err != nil {
-		return nil, err
-	}
 	// Direct DtoD and GPUDirect RDMA matter for bandwidth-bound device
 	// transfers: measure ping-pong exchanges of large device buffers.
 	xfer := int64(32 << 20)
@@ -76,89 +71,94 @@ func Ablations(opt Options) ([]AblationRow, error) {
 		xfer = 4 << 20
 		reps = 3
 	}
-	if err := add("direct-p2p-dtod", fmt.Sprintf("%dx%dMB DtoD intra (PSG)", reps, xfer>>20), topo.PSG(), 2,
-		func(f *core.Features) { f.DirectP2P = false }, devicePingPong(xfer, reps)); err != nil {
-		return nil, err
+
+	jobs := []func() (AblationRow, error){
+		// Message fusion: intra-node DGEMM distribution without fused copies
+		// falls back to the legacy two-copy transport.
+		feature("node-heap-aliasing", fmt.Sprintf("DGEMM %d (PSG x8)", n), topo.PSG(), 8,
+			func(f *core.Features) { f.Aliasing = false }, dgemm),
+		feature("direct-p2p-dtod", fmt.Sprintf("%dx%dMB DtoD intra (PSG)", reps, xfer>>20), topo.PSG(), 2,
+			func(f *core.Features) { f.DirectP2P = false }, devicePingPong(xfer, reps)),
+		feature("gpudirect-rdma", fmt.Sprintf("%dx%dMB DtoD inter (Titan)", reps, xfer>>20), topo.Titan(2), 2,
+			func(f *core.Features) { f.RDMA = false }, devicePingPong(xfer, reps)),
+		// Unified activity queue: unified style vs the async style with
+		// explicit synchronization, both under IMPACC.
+		func() (AblationRow, error) {
+			cfgU := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
+			on, _, err := elapsedOf(opt, cfgU, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
+			if err != nil {
+				return AblationRow{}, err
+			}
+			cfgA := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
+			off, _, err := elapsedOf(opt, cfgA, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleAsync}))
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Technique: "unified-activity-queue",
+				Workload:  fmt.Sprintf("Jacobi %d (PSG x8)", n),
+				Off:       off, On: on,
+			}, nil
+		},
+		// MPI_THREAD_MULTIPLE: without it, each node's internode calls — and
+		// the library-internal staging copies of device sends on the
+		// non-GPUDirect Beacon — serialize (paper §3.7). Four tasks per node
+		// exchanging device buffers across the network expose the lock.
+		func() (AblationRow, error) {
+			sys := topo.Beacon(2)
+			// Small messages: the serialized call window (library overhead +
+			// staging setup) exceeds the per-message wire time, so the lock
+			// is the bottleneck — the regime the paper's argument addresses.
+			msgBytes, rounds := int64(4096), 128
+			if opt.Quick {
+				rounds = 24
+			}
+			mk := func(serial bool) (sim.Dur, error) {
+				cfg := baseCfg(opt, sys, core.IMPACC, 8, false)
+				cfg.ForceSerialMPI = serial
+				d, _, err := elapsedOf(opt, cfg, crossNodeDeviceExchange(msgBytes, rounds))
+				return d, err
+			}
+			off, err := mk(true)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			on, err := mk(false)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Technique: "mpi-thread-multiple",
+				Workload:  fmt.Sprintf("%dx%dKB dev exch (Beacon 2x4)", rounds, msgBytes>>10),
+				Off:       off, On: on,
+			}, nil
+		},
+		// NUMA pinning: far vs near (the Figure 8 effect at app level).
+		func() (AblationRow, error) {
+			mk := func(pin core.PinPolicy) (sim.Dur, error) {
+				cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
+				cfg.Pin = pin
+				d, _, err := elapsedOf(opt, cfg, apps.DGEMM(apps.DGEMMConfig{N: n, Style: apps.StyleSync}))
+				return d, err
+			}
+			off, err := mk(core.PinFar)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			on, err := mk(core.PinNear)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Technique: "numa-pinning",
+				Workload:  fmt.Sprintf("DGEMM %d sync (PSG x8)", n),
+				Off:       off, On: on,
+			}, nil
+		},
 	}
-	if err := add("gpudirect-rdma", fmt.Sprintf("%dx%dMB DtoD inter (Titan)", reps, xfer>>20), topo.Titan(2), 2,
-		func(f *core.Features) { f.RDMA = false }, devicePingPong(xfer, reps)); err != nil {
-		return nil, err
-	}
-	// Unified activity queue: unified style vs the async style with
-	// explicit synchronization, both under IMPACC.
-	{
-		cfgU := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
-		on, _, err := elapsedOf(cfgU, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
-		if err != nil {
-			return nil, err
-		}
-		cfgA := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
-		off, _, err := elapsedOf(cfgA, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleAsync}))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Technique: "unified-activity-queue",
-			Workload:  fmt.Sprintf("Jacobi %d (PSG x8)", n),
-			Off:       off, On: on,
-		})
-	}
-	// MPI_THREAD_MULTIPLE: without it, each node's internode calls — and
-	// the library-internal staging copies of device sends on the
-	// non-GPUDirect Beacon — serialize (paper §3.7). Four tasks per node
-	// exchanging device buffers across the network expose the lock.
-	{
-		sys := topo.Beacon(2)
-		// Small messages: the serialized call window (library overhead +
-		// staging setup) exceeds the per-message wire time, so the lock
-		// is the bottleneck — the regime the paper's argument addresses.
-		msgBytes, rounds := int64(4096), 128
-		if opt.Quick {
-			rounds = 24
-		}
-		mk := func(serial bool) (sim.Dur, error) {
-			cfg := baseCfg(opt, sys, core.IMPACC, 8, false)
-			cfg.ForceSerialMPI = serial
-			d, _, err := elapsedOf(cfg, crossNodeDeviceExchange(msgBytes, rounds))
-			return d, err
-		}
-		off, err := mk(true)
-		if err != nil {
-			return nil, err
-		}
-		on, err := mk(false)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Technique: "mpi-thread-multiple",
-			Workload:  fmt.Sprintf("%dx%dKB dev exch (Beacon 2x4)", rounds, msgBytes>>10),
-			Off:       off, On: on,
-		})
-	}
-	// NUMA pinning: far vs near (the Figure 8 effect at app level).
-	{
-		mk := func(pin core.PinPolicy) (sim.Dur, error) {
-			cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 8, false)
-			cfg.Pin = pin
-			d, _, err := elapsedOf(cfg, apps.DGEMM(apps.DGEMMConfig{N: n, Style: apps.StyleSync}))
-			return d, err
-		}
-		off, err := mk(core.PinFar)
-		if err != nil {
-			return nil, err
-		}
-		on, err := mk(core.PinNear)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Technique: "numa-pinning",
-			Workload:  fmt.Sprintf("DGEMM %d sync (PSG x8)", n),
-			Off:       off, On: on,
-		})
-	}
-	return rows, nil
+	return parMap(opt, jobs, func(_ int, job func() (AblationRow, error)) (AblationRow, error) {
+		return job()
+	})
 }
 
 func runAblation(w io.Writer, opt Options) error {

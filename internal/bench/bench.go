@@ -22,8 +22,14 @@ type Options struct {
 	// parameter ranges.
 	Quick bool
 	// Metrics, when non-nil, is shared by every run an experiment performs,
-	// aggregating all of their telemetry into one registry.
+	// aggregating all of their telemetry into one registry (each run merges
+	// its private registry on completion).
 	Metrics *telemetry.Registry
+	// Jobs is the worker-pool width set via WithJobs; <= 1 means serial.
+	Jobs int
+
+	// gate, when non-nil, bounds concurrent simulations (see WithJobs).
+	gate chan struct{}
 }
 
 // Experiment is one reproducible table or figure.
@@ -75,9 +81,10 @@ func baseCfg(opt Options, sys *topo.System, mode core.Mode, maxTasks int, backed
 	}
 }
 
-// elapsedOf runs prog and returns the virtual elapsed time.
-func elapsedOf(cfg core.Config, prog core.Program) (sim.Dur, *core.Report, error) {
-	rep, err := core.Run(cfg, prog)
+// elapsedOf runs prog (through the worker pool, if any) and returns the
+// virtual elapsed time.
+func elapsedOf(opt Options, cfg core.Config, prog core.Program) (sim.Dur, *core.Report, error) {
+	rep, err := runGated(opt, cfg, prog)
 	if err != nil {
 		return 0, nil, err
 	}

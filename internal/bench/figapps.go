@@ -34,34 +34,46 @@ type SpeedupRow struct {
 // timeApp runs prog in the given mode and returns the elapsed virtual time.
 func timeApp(opt Options, sys func() *topo.System, mode core.Mode, tasks int, prog func(style apps.Style) core.Program) (sim.Dur, *core.Report, error) {
 	cfg := baseCfg(opt, sys(), mode, tasks, false)
-	return elapsedOf(cfg, prog(styleFor(mode)))
+	return elapsedOf(opt, cfg, prog(styleFor(mode)))
 }
 
-// speedupSweep times both modes across task counts and normalizes to the
-// legacy run at baseTasks.
+// speedupSweep times both modes across task counts (concurrently, when the
+// options carry a worker pool) and normalizes to the legacy run at
+// baseTasks.
 func speedupSweep(opt Options, panel, param string, sys func() *topo.System, taskCounts []int, baseTasks int,
 	prog func(style apps.Style) core.Program) ([]SpeedupRow, error) {
 	base, _, err := timeApp(opt, sys, core.Legacy, baseTasks, prog)
 	if err != nil {
 		return nil, fmt.Errorf("%s baseline: %w", panel, err)
 	}
-	var rows []SpeedupRow
-	for _, tc := range taskCounts {
+	return parMap(opt, taskCounts, func(_ int, tc int) (SpeedupRow, error) {
 		ti, _, err := timeApp(opt, sys, core.IMPACC, tc, prog)
 		if err != nil {
-			return nil, fmt.Errorf("%s IMPACC %d: %w", panel, tc, err)
+			return SpeedupRow{}, fmt.Errorf("%s IMPACC %d: %w", panel, tc, err)
 		}
 		tl, _, err := timeApp(opt, sys, core.Legacy, tc, prog)
 		if err != nil {
-			return nil, fmt.Errorf("%s MPI+X %d: %w", panel, tc, err)
+			return SpeedupRow{}, fmt.Errorf("%s MPI+X %d: %w", panel, tc, err)
 		}
-		rows = append(rows, SpeedupRow{
+		return SpeedupRow{
 			Panel: panel, Param: param, Tasks: tc,
 			IMPACC: base.Seconds() / ti.Seconds(),
 			MPIX:   base.Seconds() / tl.Seconds(),
-		})
+		}, nil
+	})
+}
+
+// sweepJob is one independent panel of a speedup figure.
+type sweepJob func() ([]SpeedupRow, error)
+
+// runSweeps executes panel jobs (concurrently under a worker pool) and
+// concatenates their rows in panel order.
+func runSweeps(opt Options, jobs []sweepJob) ([]SpeedupRow, error) {
+	chunks, err := parMap(opt, jobs, func(_ int, job sweepJob) ([]SpeedupRow, error) { return job() })
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return flatten(chunks), nil
 }
 
 func printSpeedups(w io.Writer, rows []SpeedupRow) {
@@ -75,7 +87,6 @@ func printSpeedups(w io.Writer, rows []SpeedupRow) {
 
 // Fig10 sweeps DGEMM strong scaling on the three systems.
 func Fig10(opt Options) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
 	psgNs := []int{1024, 2048, 4096, 8192}
 	psgTasks := []int{1, 2, 4, 8}
 	beaconSys := func() *topo.System { return topo.Beacon(32) }
@@ -96,28 +107,23 @@ func Fig10(opt Options) ([]SpeedupRow, error) {
 		titanN = 512
 		titanBase = 2
 	}
+	var jobs []sweepJob
 	for _, n := range psgNs {
 		n := n
-		r, err := speedupSweep(opt, fmt.Sprintf("PSG"), fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1,
-			func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: n, Style: s}) })
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+		jobs = append(jobs, func() ([]SpeedupRow, error) {
+			return speedupSweep(opt, "PSG", fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1,
+				func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: n, Style: s}) })
+		})
 	}
-	r, err := speedupSweep(opt, "Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1,
-		func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: beaconN, Style: s}) })
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	r, err = speedupSweep(opt, "Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase,
-		func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: titanN, Style: s}) })
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	return rows, nil
+	jobs = append(jobs, func() ([]SpeedupRow, error) {
+		return speedupSweep(opt, "Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1,
+			func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: beaconN, Style: s}) })
+	})
+	jobs = append(jobs, func() ([]SpeedupRow, error) {
+		return speedupSweep(opt, "Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase,
+			func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: titanN, Style: s}) })
+	})
+	return runSweeps(opt, jobs)
 }
 
 func runFig10(w io.Writer, opt Options) error {
@@ -149,40 +155,50 @@ func Fig11(opt Options) ([]Fig11Row, error) {
 		ns = []int{256, 512}
 		taskCounts = []int{1, 4}
 	}
-	var rows []Fig11Row
-	for _, n := range ns {
+	type cell struct {
+		tc   int
+		mode core.Mode
+	}
+	chunks, err := parMap(opt, ns, func(_ int, n int) ([]Fig11Row, error) {
 		prog := func(s apps.Style) core.Program { return apps.DGEMM(apps.DGEMMConfig{N: n, Style: s}) }
 		base, _, err := timeApp(opt, topo.PSG, core.Legacy, 1, prog)
 		if err != nil {
 			return nil, err
 		}
+		var cells []cell
 		for _, tc := range taskCounts {
 			for _, mode := range []core.Mode{core.Legacy, core.IMPACC} {
-				elapsed, rep, err := timeApp(opt, topo.PSG, mode, tc, prog)
-				if err != nil {
-					return nil, err
-				}
-				var kernel, comm sim.Dur
-				for _, tr := range rep.Tasks {
-					kernel += tr.Dev.KernelTime
-					comm += tr.Comm
-				}
-				kernel /= sim.Dur(len(rep.Tasks))
-				comm /= sim.Dur(len(rep.Tasks))
-				other := elapsed - kernel - comm
-				if other < 0 {
-					other = 0
-				}
-				rows = append(rows, Fig11Row{
-					N: n, Tasks: tc, Mode: mode,
-					Kernel: kernel.Seconds() / base.Seconds(),
-					Comm:   comm.Seconds() / base.Seconds(),
-					Other:  other.Seconds() / base.Seconds(),
-				})
+				cells = append(cells, cell{tc, mode})
 			}
 		}
+		return parMap(opt, cells, func(_ int, c cell) (Fig11Row, error) {
+			elapsed, rep, err := timeApp(opt, topo.PSG, c.mode, c.tc, prog)
+			if err != nil {
+				return Fig11Row{}, err
+			}
+			var kernel, comm sim.Dur
+			for _, tr := range rep.Tasks {
+				kernel += tr.Dev.KernelTime
+				comm += tr.Comm
+			}
+			kernel /= sim.Dur(len(rep.Tasks))
+			comm /= sim.Dur(len(rep.Tasks))
+			other := elapsed - kernel - comm
+			if other < 0 {
+				other = 0
+			}
+			return Fig11Row{
+				N: n, Tasks: c.tc, Mode: c.mode,
+				Kernel: kernel.Seconds() / base.Seconds(),
+				Comm:   comm.Seconds() / base.Seconds(),
+				Other:  other.Seconds() / base.Seconds(),
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return flatten(chunks), nil
 }
 
 func runFig11(w io.Writer, opt Options) error {
@@ -202,7 +218,6 @@ func runFig11(w io.Writer, opt Options) error {
 
 // Fig12 sweeps EP strong scaling across classes and systems.
 func Fig12(opt Options) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
 	psgClasses := []apps.EPClass{apps.EPClassA, apps.EPClassB, apps.EPClassC, apps.EPClassD, apps.EPClassE}
 	psgTasks := []int{1, 2, 4, 8}
 	beaconSys := func() *topo.System { return topo.Beacon(32) }
@@ -228,24 +243,20 @@ func Fig12(opt Options) ([]SpeedupRow, error) {
 			return apps.EP(apps.EPConfig{Class: class, Style: s})
 		}
 	}
+	var jobs []sweepJob
 	for _, class := range psgClasses {
-		r, err := speedupSweep(opt, "PSG", "class "+class.Name, topo.PSG, psgTasks, 1, epProg(class))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+		class := class
+		jobs = append(jobs, func() ([]SpeedupRow, error) {
+			return speedupSweep(opt, "PSG", "class "+class.Name, topo.PSG, psgTasks, 1, epProg(class))
+		})
 	}
-	r, err := speedupSweep(opt, "Beacon", "class "+beaconClass.Name, beaconSys, beaconTasks, 1, epProg(beaconClass))
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	r, err = speedupSweep(opt, "Titan", "class "+titanClass.Name, titanSys, titanTasks, titanBase, epProg(titanClass))
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	return rows, nil
+	jobs = append(jobs, func() ([]SpeedupRow, error) {
+		return speedupSweep(opt, "Beacon", "class "+beaconClass.Name, beaconSys, beaconTasks, 1, epProg(beaconClass))
+	})
+	jobs = append(jobs, func() ([]SpeedupRow, error) {
+		return speedupSweep(opt, "Titan", "class "+titanClass.Name, titanSys, titanTasks, titanBase, epProg(titanClass))
+	})
+	return runSweeps(opt, jobs)
 }
 
 func runFig12(w io.Writer, opt Options) error {
@@ -261,7 +272,6 @@ func runFig12(w io.Writer, opt Options) error {
 
 // Fig13 sweeps Jacobi strong scaling.
 func Fig13(opt Options) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
 	iters := 100 // steady-state sweeps; setup transfers amortize away
 	psgNs := []int{1024, 2048, 4096, 8192}
 	psgTasks := []int{1, 2, 4, 8}
@@ -289,24 +299,20 @@ func Fig13(opt Options) ([]SpeedupRow, error) {
 			return apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: s})
 		}
 	}
+	var jobs []sweepJob
 	for _, n := range psgNs {
-		r, err := speedupSweep(opt, "PSG", fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1, jProg(n))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+		n := n
+		jobs = append(jobs, func() ([]SpeedupRow, error) {
+			return speedupSweep(opt, "PSG", fmt.Sprintf("%dx%d", n, n), topo.PSG, psgTasks, 1, jProg(n))
+		})
 	}
-	r, err := speedupSweep(opt, "Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1, jProg(beaconN))
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	r, err = speedupSweep(opt, "Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase, jProg(titanN))
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	return rows, nil
+	jobs = append(jobs, func() ([]SpeedupRow, error) {
+		return speedupSweep(opt, "Beacon", fmt.Sprintf("%dx%d", beaconN, beaconN), beaconSys, beaconTasks, 1, jProg(beaconN))
+	})
+	jobs = append(jobs, func() ([]SpeedupRow, error) {
+		return speedupSweep(opt, "Titan", fmt.Sprintf("%dx%d", titanN, titanN), titanSys, titanTasks, titanBase, jProg(titanN))
+	})
+	return runSweeps(opt, jobs)
 }
 
 func runFig13(w io.Writer, opt Options) error {
@@ -340,43 +346,46 @@ func Fig14(opt Options) ([]Fig14Row, error) {
 		taskCounts = []int{2, 4}
 		iters = 3
 	}
-	var rows []Fig14Row
 	// Setup transfers (initial copyin, final copyout) are identical at any
 	// iteration count, so the difference between a 2k- and a k-iteration
 	// run isolates the per-exchange components — what Figure 14 plots.
 	run := func(mode core.Mode, n, tc, it int) (device.Stats, error) {
 		cfg := baseCfg(opt, topo.PSG(), mode, tc, false)
-		_, rep, err := elapsedOf(cfg, apps.Jacobi(apps.JacobiConfig{
+		_, rep, err := elapsedOf(opt, cfg, apps.Jacobi(apps.JacobiConfig{
 			N: n, Iters: it, Style: styleFor(mode)}))
 		if err != nil {
 			return device.Stats{}, err
 		}
 		return rep.TotalDev(), nil
 	}
+	type cell struct{ tc, n int }
+	var cells []cell
 	for _, tc := range taskCounts {
 		for _, n := range ns {
-			row := Fig14Row{N: n, Tasks: tc}
-			for _, mode := range []core.Mode{core.IMPACC, core.Legacy} {
-				lo, err := run(mode, n, tc, iters)
-				if err != nil {
-					return nil, err
-				}
-				hi, err := run(mode, n, tc, 2*iters)
-				if err != nil {
-					return nil, err
-				}
-				if mode == core.IMPACC {
-					row.IMPACCDtoD = hi.DtoDTime - lo.DtoDTime
-				} else {
-					row.MPIXDtoH = hi.DtoHTime - lo.DtoHTime
-					row.MPIXHtoH = hi.HtoHTime - lo.HtoHTime
-					row.MPIXHtoD = hi.HtoDTime - lo.HtoDTime
-				}
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{tc, n})
 		}
 	}
-	return rows, nil
+	return parMap(opt, cells, func(_ int, c cell) (Fig14Row, error) {
+		row := Fig14Row{N: c.n, Tasks: c.tc}
+		for _, mode := range []core.Mode{core.IMPACC, core.Legacy} {
+			lo, err := run(mode, c.n, c.tc, iters)
+			if err != nil {
+				return Fig14Row{}, err
+			}
+			hi, err := run(mode, c.n, c.tc, 2*iters)
+			if err != nil {
+				return Fig14Row{}, err
+			}
+			if mode == core.IMPACC {
+				row.IMPACCDtoD = hi.DtoDTime - lo.DtoDTime
+			} else {
+				row.MPIXDtoH = hi.DtoHTime - lo.DtoHTime
+				row.MPIXHtoH = hi.HtoHTime - lo.HtoHTime
+				row.MPIXHtoD = hi.HtoDTime - lo.HtoDTime
+			}
+		}
+		return row, nil
+	})
 }
 
 func runFig14(w io.Writer, opt Options) error {
@@ -419,23 +428,18 @@ func Fig15(opt Options) ([]SpeedupRow, error) {
 	prog := func(apps.Style) core.Program {
 		return apps.LULESH(apps.LULESHConfig{Edge: edge, Steps: steps})
 	}
-	var rows []SpeedupRow
-	r, err := speedupSweep(opt, "PSG", fmt.Sprintf("%d^3/task", edge), topo.PSG, psgTasks, 1, prog)
-	if err != nil {
-		return nil, err
+	jobs := []sweepJob{
+		func() ([]SpeedupRow, error) {
+			return speedupSweep(opt, "PSG", fmt.Sprintf("%d^3/task", edge), topo.PSG, psgTasks, 1, prog)
+		},
+		func() ([]SpeedupRow, error) {
+			return speedupSweep(opt, "Beacon", fmt.Sprintf("%d^3/task", edge), beaconSys, beaconTasks, 1, prog)
+		},
+		func() ([]SpeedupRow, error) {
+			return speedupSweep(opt, "Titan", fmt.Sprintf("%d^3/task", edge), titanSys, titanTasks, titanBase, prog)
+		},
 	}
-	rows = append(rows, r...)
-	r, err = speedupSweep(opt, "Beacon", fmt.Sprintf("%d^3/task", edge), beaconSys, beaconTasks, 1, prog)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	r, err = speedupSweep(opt, "Titan", fmt.Sprintf("%d^3/task", edge), titanSys, titanTasks, titanBase, prog)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r...)
-	return rows, nil
+	return runSweeps(opt, jobs)
 }
 
 func runFig15(w io.Writer, opt Options) error {
@@ -464,24 +468,22 @@ func Ext2D(opt Options) ([]Ext2DRow, error) {
 	if opt.Quick {
 		n, iters = 512, 4
 	}
-	var rows []Ext2DRow
-	for _, tc := range taskCounts {
+	return parMap(opt, taskCounts, func(_ int, tc int) (Ext2DRow, error) {
 		cfg := baseCfg(opt, topo.PSG(), core.IMPACC, tc, false)
-		e1, r1, err := elapsedOf(cfg, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
+		e1, r1, err := elapsedOf(opt, cfg, apps.Jacobi(apps.JacobiConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
 		if err != nil {
-			return nil, err
+			return Ext2DRow{}, err
 		}
-		e2, r2, err := elapsedOf(cfg, apps.Jacobi2D(apps.Jacobi2DConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
+		e2, r2, err := elapsedOf(opt, cfg, apps.Jacobi2D(apps.Jacobi2DConfig{N: n, Iters: iters, Style: apps.StyleUnified}))
 		if err != nil {
-			return nil, err
+			return Ext2DRow{}, err
 		}
-		rows = append(rows, Ext2DRow{
+		return Ext2DRow{
 			N: n, Tasks: tc,
 			Elapsed1D: e1, Elapsed2D: e2,
 			Halo1D: r1.TotalDev().DtoDBytes, Halo2D: r2.TotalDev().DtoDBytes,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func runExt2D(w io.Writer, opt Options) error {

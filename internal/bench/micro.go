@@ -35,21 +35,20 @@ func Fig5(opt Options) ([]Fig5Result, error) {
 	if opt.Quick {
 		n = 1 << 20
 	}
-	var out []Fig5Result
-	for _, style := range []apps.Style{apps.StyleSync, apps.StyleAsync, apps.StyleUnified} {
+	styles := []apps.Style{apps.StyleSync, apps.StyleAsync, apps.StyleUnified}
+	return parMap(opt, styles, func(_ int, style apps.Style) (Fig5Result, error) {
 		cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 2, false)
 		issue := make([]sim.Time, 2)
-		rep, err := core.Run(cfg, fig5Prog(style, n, issue))
+		rep, err := runGated(opt, cfg, fig5Prog(style, n, issue))
 		if err != nil {
-			return nil, fmt.Errorf("fig5 %v: %w", style, err)
+			return Fig5Result{}, fmt.Errorf("fig5 %v: %w", style, err)
 		}
 		span := issue[0]
 		if issue[1] > span {
 			span = issue[1]
 		}
-		out = append(out, Fig5Result{Style: style, Elapsed: rep.Elapsed, IssueSpan: sim.Dur(span)})
-	}
-	return out, nil
+		return Fig5Result{Style: style, Elapsed: rep.Elapsed, IssueSpan: sim.Dur(span)}, nil
+	})
 }
 
 // fig5Prog is the Figure 4 code: run a kernel producing buf0, exchange buf0
@@ -135,17 +134,16 @@ func Fig6(opt Options) ([]Fig6Result, error) {
 	if opt.Quick {
 		n = 1 << 20
 	}
-	var out []Fig6Result
-	for _, pair := range []string{"HtoH", "HtoD", "DtoH", "DtoD"} {
-		var res Fig6Result
-		res.Pair = pair
+	pairs := []string{"HtoH", "HtoD", "DtoH", "DtoD"}
+	return parMap(opt, pairs, func(_ int, pair string) (Fig6Result, error) {
+		res := Fig6Result{Pair: pair}
 		for _, mode := range []core.Mode{core.Legacy, core.IMPACC} {
 			times := &p2pTimes{}
 			cfg := baseCfg(opt, topo.PSG(), mode, 2, false)
 			cfg.Pin = core.PinNear // isolate the transport path from pinning
-			rep, err := core.Run(cfg, p2pProg(pair, n, mode == core.Legacy, times))
+			rep, err := runGated(opt, cfg, p2pProg(pair, n, mode == core.Legacy, times))
 			if err != nil {
-				return nil, fmt.Errorf("fig6 %s %v: %w", pair, mode, err)
+				return Fig6Result{}, fmt.Errorf("fig6 %s %v: %w", pair, mode, err)
 			}
 			hub := rep.TotalHub()
 			dev := rep.TotalDev()
@@ -159,9 +157,8 @@ func Fig6(opt Options) ([]Fig6Result, error) {
 				res.IMPACCTime = elapsed
 			}
 		}
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 func runFig6(w io.Writer, opt Options) error {
@@ -190,8 +187,7 @@ type Fig7Result struct {
 // Fig7 reproduces the Figure 7 scenario: task 0 mallocs 100 elements and
 // sends 10 from an offset; task 1 receives into a whole 10-element heap.
 func Fig7(opt Options) ([]Fig7Result, error) {
-	var out []Fig7Result
-	for _, ro := range []bool{false, true} {
+	return parMap(opt, []bool{false, true}, func(_ int, ro bool) (Fig7Result, error) {
 		cfg := baseCfg(opt, topo.PSG(), core.IMPACC, 2, true)
 		var elapsed sim.Dur
 		prog := func(t *core.Task) {
@@ -222,18 +218,17 @@ func Fig7(opt Options) ([]Fig7Result, error) {
 				}
 			}
 		}
-		rep, err := core.Run(cfg, prog)
+		rep, err := runGated(opt, cfg, prog)
 		if err != nil {
-			return nil, err
+			return Fig7Result{}, err
 		}
-		out = append(out, Fig7Result{
+		return Fig7Result{
 			ReadOnly: ro,
 			Aliases:  rep.TotalHub().Aliases,
 			Copies:   rep.TotalHub().FusedCopies,
 			Elapsed:  elapsed,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func runFig7(w io.Writer, opt Options) error {
@@ -273,7 +268,6 @@ func fig8Sizes(opt Options) []int64 {
 // Fig8 measures accelerator copy bandwidth with NUMA-friendly and
 // NUMA-unfriendly task pinning on PSG and Beacon (paper Figure 8).
 func Fig8(opt Options) ([]Fig8Row, error) {
-	var out []Fig8Row
 	systems := []struct {
 		name string
 		sys  func() *topo.System
@@ -281,40 +275,49 @@ func Fig8(opt Options) ([]Fig8Row, error) {
 		{"PSG", topo.PSG},
 		{"Beacon", func() *topo.System { return topo.Beacon(1) }},
 	}
+	type cell struct {
+		sys  func() *topo.System
+		name string
+		dir  string
+		size int64
+	}
+	var cells []cell
 	for _, s := range systems {
 		for _, dir := range []string{"HtoD", "DtoH"} {
 			for _, size := range fig8Sizes(opt) {
-				row := Fig8Row{System: s.name, Dir: dir, Bytes: size}
-				for _, pin := range []core.PinPolicy{core.PinNear, core.PinFar} {
-					cfg := baseCfg(opt, s.sys(), core.IMPACC, 1, false)
-					cfg.Pin = pin
-					var elapsed sim.Dur
-					_, err := core.Run(cfg, func(t *core.Task) {
-						buf := t.Malloc(size)
-						t.DataEnter(buf, size, acc.Create)
-						start := t.Now()
-						if dir == "HtoD" {
-							t.UpdateDevice(buf, size, -1)
-						} else {
-							t.UpdateHost(buf, size, -1)
-						}
-						elapsed = sim.Dur(t.Now() - start)
-						t.DataExit(buf, acc.Delete)
-					})
-					if err != nil {
-						return nil, err
-					}
-					if pin == core.PinNear {
-						row.NearGBs = gbs(size, elapsed)
-					} else {
-						row.FarGBs = gbs(size, elapsed)
-					}
-				}
-				out = append(out, row)
+				cells = append(cells, cell{s.sys, s.name, dir, size})
 			}
 		}
 	}
-	return out, nil
+	return parMap(opt, cells, func(_ int, c cell) (Fig8Row, error) {
+		row := Fig8Row{System: c.name, Dir: c.dir, Bytes: c.size}
+		for _, pin := range []core.PinPolicy{core.PinNear, core.PinFar} {
+			cfg := baseCfg(opt, c.sys(), core.IMPACC, 1, false)
+			cfg.Pin = pin
+			var elapsed sim.Dur
+			_, err := runGated(opt, cfg, func(t *core.Task) {
+				buf := t.Malloc(c.size)
+				t.DataEnter(buf, c.size, acc.Create)
+				start := t.Now()
+				if c.dir == "HtoD" {
+					t.UpdateDevice(buf, c.size, -1)
+				} else {
+					t.UpdateHost(buf, c.size, -1)
+				}
+				elapsed = sim.Dur(t.Now() - start)
+				t.DataExit(buf, acc.Delete)
+			})
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			if pin == core.PinNear {
+				row.NearGBs = gbs(c.size, elapsed)
+			} else {
+				row.FarGBs = gbs(c.size, elapsed)
+			}
+		}
+		return row, nil
+	})
 }
 
 func runFig8(w io.Writer, opt Options) error {
@@ -403,31 +406,39 @@ func Fig9(opt Options) ([]Fig9Row, error) {
 		{"Beacon-intra", func() *topo.System { return topo.Beacon(1) }},
 		{"Titan-inter", func() *topo.System { return topo.Titan(2) }},
 	}
-	var out []Fig9Row
+	type cell struct {
+		sys   func() *topo.System
+		panel string
+		pair  string
+		size  int64
+	}
+	var cells []cell
 	for _, p := range panels {
 		for _, pair := range []string{"HtoH", "HtoD", "DtoD"} {
 			for _, size := range fig8Sizes(opt) {
-				row := Fig9Row{Panel: p.name + " " + pair, Bytes: size}
-				for _, mode := range []core.Mode{core.IMPACC, core.Legacy} {
-					times := &p2pTimes{}
-					cfg := baseCfg(opt, p.sys(), mode, 2, false)
-					cfg.Pin = core.PinNear // isolate the transport path
-					_, err := core.Run(cfg, p2pProg(pair, size, mode == core.Legacy, times))
-					if err != nil {
-						return nil, fmt.Errorf("fig9 %s %s %v: %w", p.name, pair, mode, err)
-					}
-					bw := gbs(size, sim.Dur(times.end-times.start))
-					if mode == core.IMPACC {
-						row.IMPACCGBs = bw
-					} else {
-						row.MPIXGBs = bw
-					}
-				}
-				out = append(out, row)
+				cells = append(cells, cell{p.sys, p.name, pair, size})
 			}
 		}
 	}
-	return out, nil
+	return parMap(opt, cells, func(_ int, c cell) (Fig9Row, error) {
+		row := Fig9Row{Panel: c.panel + " " + c.pair, Bytes: c.size}
+		for _, mode := range []core.Mode{core.IMPACC, core.Legacy} {
+			times := &p2pTimes{}
+			cfg := baseCfg(opt, c.sys(), mode, 2, false)
+			cfg.Pin = core.PinNear // isolate the transport path
+			_, err := runGated(opt, cfg, p2pProg(c.pair, c.size, mode == core.Legacy, times))
+			if err != nil {
+				return Fig9Row{}, fmt.Errorf("fig9 %s %s %v: %w", c.panel, c.pair, mode, err)
+			}
+			bw := gbs(c.size, sim.Dur(times.end-times.start))
+			if mode == core.IMPACC {
+				row.IMPACCGBs = bw
+			} else {
+				row.MPIXGBs = bw
+			}
+		}
+		return row, nil
+	})
 }
 
 func runFig9(w io.Writer, opt Options) error {

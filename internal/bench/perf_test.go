@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"impacc/internal/telemetry"
+)
+
+// BenchmarkFig9SweepQuick times the full quick-mode Figure 9 bandwidth
+// sweep end to end: 27 sweep points, each running two simulations (IMPACC
+// and legacy). It exercises the engine hot path, the keyed message
+// matching, and the task runtime together, so it tracks whole-system
+// regressions that the internal/sim microbenchmarks cannot see.
+func BenchmarkFig9SweepQuick(b *testing.B) {
+	opt := Options{Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig9(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9SweepQuickParallel is the same sweep through an 8-wide
+// worker pool: it measures the pool overhead on one core and the speedup
+// on many.
+func BenchmarkFig9SweepQuickParallel(b *testing.B) {
+	opt := Options{Quick: true}.WithJobs(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig9(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runAllQuick executes every experiment through RunMany and returns the
+// concatenated canonical output plus the aggregate telemetry as JSON.
+func runAllQuick(t *testing.T, jobs int) ([]byte, []byte) {
+	t.Helper()
+	opt := Options{Quick: true, Metrics: telemetry.NewRegistry()}.WithJobs(jobs)
+	var out bytes.Buffer
+	for _, r := range RunMany(All, opt) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Exp.ID, r.Err)
+		}
+		out.WriteString("==== " + r.Exp.ID + " ====\n")
+		out.Write(r.Output)
+	}
+	var snap bytes.Buffer
+	if err := opt.Metrics.Snapshot(0).WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), snap.Bytes()
+}
+
+// TestParallelRunDeterminism is the PR's core guarantee: running the whole
+// suite through an 8-wide worker pool twice produces byte-identical output
+// and byte-identical aggregate metrics, both equal to a strictly serial
+// run. Simulated time must never depend on scheduling of the host threads.
+func TestParallelRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite three times")
+	}
+	serialOut, serialSnap := runAllQuick(t, 1)
+	for round := 0; round < 2; round++ {
+		out, snap := runAllQuick(t, 8)
+		if !bytes.Equal(out, serialOut) {
+			t.Fatalf("round %d: -j 8 output differs from serial", round)
+		}
+		if !bytes.Equal(snap, serialSnap) {
+			t.Fatalf("round %d: -j 8 metrics snapshot differs from serial", round)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"impacc/internal/core"
+)
+
+// WithJobs returns a copy of the options that runs up to n simulations
+// concurrently. Every core run owns a private engine, so sweep points are
+// independent; determinism is preserved because results are collected per
+// point and emitted in canonical order, and telemetry merges are
+// commutative. n <= 1 (and the zero Options value) stay strictly serial.
+func (o Options) WithJobs(n int) Options {
+	o.Jobs = n
+	o.gate = nil
+	if n > 1 {
+		o.gate = make(chan struct{}, n)
+	}
+	return o
+}
+
+// runGated executes one simulation, holding a worker-pool slot for its
+// duration. Slots are taken only around leaf core.Run calls — never while
+// fanning out — so nested sweeps cannot deadlock the pool and at most Jobs
+// engines ever run at once.
+func runGated(opt Options, cfg core.Config, prog core.Program) (*core.Report, error) {
+	if opt.gate != nil {
+		opt.gate <- struct{}{}
+		defer func() { <-opt.gate }()
+	}
+	return core.Run(cfg, prog)
+}
+
+// parMap applies f to every item, concurrently when the options carry a
+// worker pool, and returns the results in item order. Errors are reported
+// deterministically: the lowest-index failure wins. The serial path (no
+// pool) short-circuits on the first error, exactly like the historical
+// loops.
+func parMap[T, R any](opt Options, items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if opt.gate == nil || len(items) < 2 {
+		for i, it := range items {
+			r, err := f(i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = f(i, items[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// flatten concatenates row chunks produced by a parMap fan-out.
+func flatten[R any](chunks [][]R) []R {
+	var out []R
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// RunResult is one experiment's buffered outcome from RunMany.
+type RunResult struct {
+	Exp    Experiment
+	Output []byte
+	Wall   time.Duration
+	Err    error
+}
+
+// RunMany executes the experiments — concurrently when the options carry a
+// worker pool — buffering each one's output and returning results in the
+// given (canonical) order, so a parallel run prints byte-identically to a
+// serial one.
+func RunMany(exps []Experiment, opt Options) []RunResult {
+	out := make([]RunResult, len(exps))
+	run := func(i int) {
+		var buf bytes.Buffer
+		start := time.Now()
+		err := exps[i].Run(&buf, opt)
+		out[i] = RunResult{Exp: exps[i], Output: buf.Bytes(), Wall: time.Since(start), Err: err}
+	}
+	if opt.gate == nil || len(exps) < 2 {
+		for i := range exps {
+			run(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range exps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"impacc/internal/device"
 	"impacc/internal/msg"
 	"impacc/internal/sim"
+	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 	"impacc/internal/xmem"
 )
@@ -34,6 +35,10 @@ type Runtime struct {
 	nodes      map[int]*nodeState
 	tasks      []*Task
 	placements []Placement
+	// aggregate, when non-nil, receives a merge of the run's private
+	// telemetry after Execute completes (mutex-guarded inside Merge, so
+	// many runs may share one aggregate concurrently).
+	aggregate *telemetry.Registry
 	// splits carries Comm.Split group metadata out of band: the color/key
 	// pairs are control information (the allgather still prices the wire
 	// exchange), keyed by (parent context id, split sequence).
@@ -87,11 +92,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		Eng:   sim.NewEngine(),
 		feats: cfg.features(),
 		nodes: map[int]*nodeState{},
-	}
-	if cfg.Metrics != nil {
-		// Adopt before any resources exist so every FIFOResource, hub
-		// counter, and histogram registers into the shared registry.
-		rt.Eng.AdoptMetrics(cfg.Metrics)
+		// The engine keeps a private registry during the run (so
+		// concurrent runs never contend) and merges it into cfg.Metrics
+		// when Execute finishes.
+		aggregate: cfg.Metrics,
 	}
 	rt.Fab = topo.NewFabric(rt.Eng, cfg.System)
 	rt.placements = BuildMapping(cfg.System, cfg.DeviceTypes, cfg.MaxTasks)
@@ -143,12 +147,20 @@ func (rt *Runtime) Tasks() []*Task { return rt.tasks }
 
 // Execute runs prog across all tasks to completion.
 func (rt *Runtime) Execute(prog Program) (*Report, error) {
+	defer rt.mergeMetrics()
 	for _, t := range rt.tasks {
 		t := t
 		rt.Eng.Spawn(fmt.Sprintf("task%d", t.rank), func(p *sim.Proc) {
 			t.proc = p
 			defer func() {
 				if r := recover(); r != nil {
+					if sim.IsHaltUnwind(r) {
+						// The engine halted and is unwinding this
+						// task; record the end time and let the
+						// sentinel keep propagating.
+						t.endAt = p.Now()
+						panic(r)
+					}
 					if re, ok := r.(*RunError); ok {
 						t.err = re
 					} else {
@@ -171,4 +183,13 @@ func (rt *Runtime) Execute(prog Program) (*Report, error) {
 		return nil, simErr
 	}
 	return rt.buildReport(), nil
+}
+
+// mergeMetrics folds the run's private registry into the shared aggregate
+// (if any). Deferred from Execute so it runs after buildReport has recorded
+// end-of-run gauges, and on error paths too.
+func (rt *Runtime) mergeMetrics() {
+	if rt.aggregate != nil {
+		rt.aggregate.Merge(rt.Eng.Metrics)
+	}
 }

@@ -97,21 +97,23 @@ type Cmd struct {
 	MatchedBytes           int64
 
 	snapshot []byte // eager-buffered data for internode sends
+	// seq is the hub-local posting order stamp, assigned when the command
+	// parks in a pending structure; "earliest posted" comparisons across
+	// the keyed queues and the wildcard list reduce to min-seq.
+	seq uint64
 }
 
-// matches reports whether receive r accepts send s. Matching is scoped to
-// the communicator context: wildcards never cross communicators.
-func (r *Cmd) matches(s *Cmd) bool {
-	if r.Comm != s.Comm {
+// accepts reports whether receive r takes a message with the given concrete
+// envelope. Matching is scoped to the communicator context: wildcards never
+// cross communicators.
+func (r *Cmd) accepts(comm, dst, src, tag int) bool {
+	if r.Comm != comm || r.Dst != dst {
 		return false
 	}
-	if r.Dst != s.Dst {
+	if r.Src != AnySource && r.Src != src {
 		return false
 	}
-	if r.Src != AnySource && r.Src != s.Src {
-		return false
-	}
-	if r.Tag != AnyTag && r.Tag != s.Tag {
+	if r.Tag != AnyTag && r.Tag != tag {
 		return false
 	}
 	return true
@@ -129,6 +131,7 @@ type netMsg struct {
 	// direct marks a GPUDirect RDMA transfer that has already landed in
 	// device memory (no receive-side staging copy).
 	direct bool
+	seq    uint64 // hub-local arrival order stamp (see Cmd.seq)
 }
 
 // Stats is a snapshot of the hub's counters, used by the Figure 6/7
@@ -189,11 +192,27 @@ type Hub struct {
 	// order, exactly like the paper's single consumer thread.
 	handlerCPU *sim.FIFOResource
 
-	sends   []*Cmd
-	recvs   []*Cmd
-	arrived []*netMsg
+	// Matching state. Pending sends, concrete receives, and arrived
+	// internode messages are indexed by their fully-concrete envelope
+	// (comm, dst, src, tag), FIFO per key, so the common matching step is
+	// O(1) amortized while MPI's non-overtaking order per (source, tag)
+	// is preserved by construction. Receives with MPI_ANY_SOURCE or
+	// MPI_ANY_TAG stay in a posting-order side list (wildcards are rare;
+	// scanning it is bounded by the number of pending wildcard receives).
+	// matchSeq stamps every parked entry so cross-structure "earliest
+	// posted" ties resolve exactly as the historical linear scans did.
+	matchSeq  uint64
+	sendQ     map[matchKey][]*Cmd
+	recvQ     map[matchKey][]*Cmd
+	arrivedQ  map[matchKey][]*netMsg
+	wildRecvs []*Cmd
 
 	serial *sim.Semaphore // internode serialization without THREAD_MULTIPLE
+}
+
+// matchKey is a fully-concrete message envelope: the unit of FIFO matching.
+type matchKey struct {
+	comm, dst, src, tag int
 }
 
 // NewHub creates the node's message engine.
@@ -203,6 +222,9 @@ func NewHub(eng *sim.Engine, fab *topo.Fabric, node int, cfg Config, heap *xmem.
 		intraQ:     mpsc.New[*Cmd](),
 		pendingQ:   mpsc.New[*netMsg](),
 		handlerCPU: eng.NewFIFOResource(fmt.Sprintf("%s/handler", fab.Sys.Nodes[node].Name)),
+		sendQ:      map[matchKey][]*Cmd{},
+		recvQ:      map[matchKey][]*Cmd{},
+		arrivedQ:   map[matchKey][]*netMsg{},
 	}
 	reg := eng.Metrics
 	if reg == nil {
@@ -282,49 +304,145 @@ func (h *Hub) PostIntra(p *sim.Proc, cmd *Cmd) {
 
 func (h *Hub) handleCmd(cmd *Cmd) {
 	if cmd.IsSend {
-		for i, r := range h.recvs {
-			if r.matches(cmd) {
-				h.recvs = append(h.recvs[:i], h.recvs[i+1:]...)
-				h.completePair(cmd, r)
-				return
-			}
+		if r := h.takeRecvFor(cmd.Comm, cmd.Dst, cmd.Src, cmd.Tag); r != nil {
+			h.completePair(cmd, r)
+			return
 		}
-		h.sends = append(h.sends, cmd)
+		h.stamp(&cmd.seq)
+		k := matchKey{cmd.Comm, cmd.Dst, cmd.Src, cmd.Tag}
+		h.sendQ[k] = append(h.sendQ[k], cmd)
 		return
 	}
 	// Receive: first try pending intra sends, then arrived internode
 	// messages (distinct source ranks; FIFO within each origin).
-	for i, s := range h.sends {
-		if cmd.matches(s) {
-			h.sends = append(h.sends[:i], h.sends[i+1:]...)
-			h.completePair(s, cmd)
-			return
-		}
+	if s, k := h.peekSendFor(cmd); s != nil {
+		h.popSendQ(k)
+		h.completePair(s, cmd)
+		return
 	}
-	for i, m := range h.arrived {
-		if cmd.matchesNet(m) {
-			h.arrived = append(h.arrived[:i], h.arrived[i+1:]...)
-			h.completeNet(m, cmd)
-			return
-		}
+	if m, k := h.peekArrivedFor(cmd); m != nil {
+		h.popArrivedQ(k)
+		h.completeNet(m, cmd)
+		return
 	}
-	h.recvs = append(h.recvs, cmd)
+	h.stamp(&cmd.seq)
+	if cmd.Src == AnySource || cmd.Tag == AnyTag {
+		h.wildRecvs = append(h.wildRecvs, cmd)
+	} else {
+		k := matchKey{cmd.Comm, cmd.Dst, cmd.Src, cmd.Tag}
+		h.recvQ[k] = append(h.recvQ[k], cmd)
+	}
 }
 
-func (r *Cmd) matchesNet(m *netMsg) bool {
-	if r.Comm != m.Comm {
-		return false
+// stamp assigns the next posting-order sequence number.
+func (h *Hub) stamp(seq *uint64) {
+	h.matchSeq++
+	*seq = h.matchSeq
+}
+
+// takeRecvFor removes and returns the earliest-posted receive accepting the
+// concrete envelope, considering both the keyed FIFO and the wildcard list;
+// nil when none matches. Sequence stamps are unique, so the min-seq winner
+// is deterministic.
+func (h *Hub) takeRecvFor(comm, dst, src, tag int) *Cmd {
+	k := matchKey{comm, dst, src, tag}
+	var best *Cmd
+	wildIdx := -1
+	if q := h.recvQ[k]; len(q) > 0 {
+		best = q[0]
 	}
-	if r.Dst != m.Dst {
-		return false
+	// wildRecvs is in posting order, so the first acceptor is the
+	// earliest wildcard candidate.
+	for i, r := range h.wildRecvs {
+		if r.accepts(comm, dst, src, tag) {
+			if best == nil || r.seq < best.seq {
+				best, wildIdx = r, i
+			}
+			break
+		}
 	}
-	if r.Src != AnySource && r.Src != m.Src {
-		return false
+	switch {
+	case best == nil:
+		return nil
+	case wildIdx >= 0:
+		h.wildRecvs = append(h.wildRecvs[:wildIdx], h.wildRecvs[wildIdx+1:]...)
+	default:
+		h.popRecvQ(k)
 	}
-	if r.Tag != AnyTag && r.Tag != m.Tag {
-		return false
+	return best
+}
+
+// peekSendFor returns the earliest-queued pending send the receive accepts,
+// plus its key, without consuming it. A concrete receive is one map lookup;
+// a wildcard receive takes the min-seq head across matching keys (unique
+// stamps keep this independent of map iteration order).
+func (h *Hub) peekSendFor(r *Cmd) (*Cmd, matchKey) {
+	if r.Src != AnySource && r.Tag != AnyTag {
+		k := matchKey{r.Comm, r.Dst, r.Src, r.Tag}
+		if q := h.sendQ[k]; len(q) > 0 {
+			return q[0], k
+		}
+		return nil, matchKey{}
 	}
-	return true
+	var best *Cmd
+	var bestK matchKey
+	for k, q := range h.sendQ {
+		if r.accepts(k.comm, k.dst, k.src, k.tag) && (best == nil || q[0].seq < best.seq) {
+			best, bestK = q[0], k
+		}
+	}
+	return best, bestK
+}
+
+// peekArrivedFor is peekSendFor over the arrived internode messages.
+func (h *Hub) peekArrivedFor(r *Cmd) (*netMsg, matchKey) {
+	if r.Src != AnySource && r.Tag != AnyTag {
+		k := matchKey{r.Comm, r.Dst, r.Src, r.Tag}
+		if q := h.arrivedQ[k]; len(q) > 0 {
+			return q[0], k
+		}
+		return nil, matchKey{}
+	}
+	var best *netMsg
+	var bestK matchKey
+	for k, q := range h.arrivedQ {
+		if r.accepts(k.comm, k.dst, k.src, k.tag) && (best == nil || q[0].seq < best.seq) {
+			best, bestK = q[0], k
+		}
+	}
+	return best, bestK
+}
+
+// popSendQ / popRecvQ / popArrivedQ drop the head of a keyed FIFO, deleting
+// the key when it empties (constant-time, no mid-slice splicing).
+func (h *Hub) popSendQ(k matchKey) {
+	q := h.sendQ[k]
+	q[0] = nil
+	if len(q) == 1 {
+		delete(h.sendQ, k)
+	} else {
+		h.sendQ[k] = q[1:]
+	}
+}
+
+func (h *Hub) popRecvQ(k matchKey) {
+	q := h.recvQ[k]
+	q[0] = nil
+	if len(q) == 1 {
+		delete(h.recvQ, k)
+	} else {
+		h.recvQ[k] = q[1:]
+	}
+}
+
+func (h *Hub) popArrivedQ(k matchKey) {
+	q := h.arrivedQ[k]
+	q[0] = nil
+	if len(q) == 1 {
+		delete(h.arrivedQ, k)
+	} else {
+		h.arrivedQ[k] = q[1:]
+	}
 }
 
 // runChain executes cost stages back to back: each stage is invoked at the
@@ -502,15 +620,11 @@ func (h *Hub) tryAlias(send, recv *Cmd) bool {
 // MPI_Iprobe would see.
 func (h *Hub) Probe(dst, src, tag, comm int) (bool, int64) {
 	probe := &Cmd{Src: src, Dst: dst, Tag: tag, Comm: comm}
-	for _, s := range h.sends {
-		if probe.matches(s) {
-			return true, s.Bytes
-		}
+	if s, _ := h.peekSendFor(probe); s != nil {
+		return true, s.Bytes
 	}
-	for _, m := range h.arrived {
-		if probe.matchesNet(m) {
-			return true, m.Bytes
-		}
+	if m, _ := h.peekArrivedFor(probe); m != nil {
+		return true, m.Bytes
 	}
 	return false, 0
 }

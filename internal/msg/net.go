@@ -138,14 +138,13 @@ func (h *Hub) PostNetRecv(p *sim.Proc, cmd *Cmd) {
 // handleNet matches an arrived internode message against posted receives,
 // or parks it with the unexpected messages.
 func (h *Hub) handleNet(m *netMsg) {
-	for i, r := range h.recvs {
-		if r.matchesNet(m) {
-			h.recvs = append(h.recvs[:i], h.recvs[i+1:]...)
-			h.completeNet(m, r)
-			return
-		}
+	if r := h.takeRecvFor(m.Comm, m.Dst, m.Src, m.Tag); r != nil {
+		h.completeNet(m, r)
+		return
 	}
-	h.arrived = append(h.arrived, m)
+	h.stamp(&m.seq)
+	k := matchKey{m.Comm, m.Dst, m.Src, m.Tag}
+	h.arrivedQ[k] = append(h.arrivedQ[k], m)
 }
 
 // completeNet finishes an internode receive: an HtoD staging copy when the

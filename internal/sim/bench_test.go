@@ -1,0 +1,99 @@
+package sim
+
+// Engine microbenchmarks: the numbers behind BENCH_sim.json. Run with
+//
+//	go test -bench=. -benchmem ./internal/sim/
+//
+// ns/op here is ns/event (each loop iteration schedules and drains one
+// event, or one wake/park round trip for process benchmarks).
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineFnEvents measures the pure event-loop hot path: schedule
+// one fn event per iteration and drain the queue. allocs/op is the
+// allocations per event.
+func BenchmarkEngineFnEvents(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(Microsecond, step)
+		}
+	}
+	e.After(Microsecond, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineHeapChurn keeps a deep event queue (1024 pending events)
+// while scheduling and draining, exercising sift-up/sift-down cost.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	const depth = 1024
+	e := NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			// Re-arm at a pseudo-random-ish future offset so pushes land
+			// at different heap positions.
+			e.After(Dur(1+(n*2654435761)%4096), step)
+		}
+	}
+	for i := 0; i < depth && i < b.N; i++ {
+		e.After(Dur(1+i), step)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSleepWake measures the process context-switch path: one
+// running process sleeping b.N times (one event + two channel handoffs per
+// iteration).
+func BenchmarkProcSleepWake(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSameTimestampBurst schedules bursts of events at an identical
+// timestamp — the pattern produced by a node's message handler completing
+// many commands at one virtual instant.
+func BenchmarkSameTimestampBurst(b *testing.B) {
+	const burst = 64
+	e := NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var arm func()
+	arm = func() {
+		at := e.Now() + Time(Microsecond)
+		for i := 0; i < burst; i++ {
+			e.At(at, func() { n++ })
+		}
+		if n+burst < b.N {
+			e.At(at, arm)
+		}
+	}
+	arm()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

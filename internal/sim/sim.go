@@ -7,10 +7,15 @@
 // ordered by (time, sequence number), so two runs with the same inputs
 // produce identical virtual schedules regardless of Go's goroutine
 // scheduling.
+//
+// The event queue is a concrete 4-ary min-heap over pooled event structs
+// (no container/heap interface boxing, no per-event allocation in steady
+// state), with a FIFO side-queue for events scheduled at the current
+// instant so same-timestamp bursts never touch the heap. See DESIGN.md
+// "Engine internals" for the ordering argument.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -61,7 +66,8 @@ func DurFromSeconds(s float64) Dur {
 }
 
 // event is a scheduled occurrence. If proc is non-nil the event resumes that
-// process; otherwise fn runs inline in the engine loop.
+// process; otherwise fn runs inline in the engine loop. Events are pooled on
+// a per-engine freelist; no pointer to one may outlive its dispatch.
 type event struct {
 	at   Time
 	seq  uint64
@@ -69,38 +75,48 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess is the total order on events: (at, seq) ascending.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not ready;
 // use NewEngine.
 type Engine struct {
-	now      Time
-	seq      uint64
-	evq      eventHeap
-	parked   chan struct{}
-	procs    map[*Proc]struct{}
-	halted   bool
-	panicked *PanicError
+	now Time
+	seq uint64
+
+	// heap is a 4-ary min-heap on (at, seq) holding every pending event
+	// scheduled for a future instant. Events for the current instant
+	// bypass it (see nowQ).
+	heap []*event
+	// nowQ is a FIFO of events scheduled at exactly the current virtual
+	// time. Because seq grows monotonically and the clock never moves
+	// backwards, every heap entry at time now predates every nowQ entry,
+	// so "drain heap entries at now, then drain nowQ" reproduces the
+	// global (at, seq) order without any heap traffic for same-instant
+	// bursts. nowQHead indexes the next entry to dispatch.
+	nowQ     []*event
+	nowQHead int
+	// pool is the event freelist. Dispatch returns structs here; schedule
+	// reuses them, so steady-state scheduling does not allocate.
+	pool []*event
+
+	parked chan struct{}
+	// procs holds every spawned process, kept only for deadlock
+	// diagnostics and post-halt unwinding; finished entries are skipped
+	// (and compacted opportunistically). live counts unfinished ones.
+	procs     []*Proc
+	live      int
+	halted    bool
+	unwinding bool
+	panicked  *PanicError
 
 	// MaxTime, when non-zero, stops the run once the clock would pass it.
+	// An event scheduled exactly at MaxTime still runs.
 	MaxTime Time
 
 	// Metrics is the engine's telemetry registry. Every FIFOResource
@@ -115,7 +131,6 @@ type Engine struct {
 func NewEngine() *Engine {
 	e := &Engine{
 		parked: make(chan struct{}),
-		procs:  make(map[*Proc]struct{}),
 	}
 	e.AdoptMetrics(telemetry.NewRegistry())
 	return e
@@ -131,15 +146,95 @@ func (e *Engine) AdoptMetrics(reg *telemetry.Registry) {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// schedule inserts an event at absolute time t (clamped to now).
-func (e *Engine) schedule(t Time, p *Proc, fn func()) *event {
+// Live reports how many spawned processes have not yet finished.
+func (e *Engine) Live() int { return e.live }
+
+// alloc takes an event struct off the freelist, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// free clears an event's references and returns it to the freelist.
+func (e *Engine) free(ev *event) {
+	ev.proc = nil
+	ev.fn = nil
+	e.pool = append(e.pool, ev)
+}
+
+// pushHeap inserts ev into the 4-ary heap (sift-up).
+func (e *Engine) pushHeap(ev *event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// popHeap removes and returns the minimum event (sift-down).
+func (e *Engine) popHeap() *event {
+	h := e.heap
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		// Re-seat the last element at the root and sift down, picking
+		// the smallest of up to four children each level.
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= n {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if eventLess(h[c], h[best]) {
+					best = c
+				}
+			}
+			if !eventLess(h[best], last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	e.heap = h
+	return min
+}
+
+// schedule inserts an event at absolute time t (clamped to now). Events for
+// the current instant go to the FIFO nowQ; future events go to the heap.
+func (e *Engine) schedule(t Time, p *Proc, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, proc: p, fn: fn}
-	heap.Push(&e.evq, ev)
-	return ev
+	ev := e.alloc()
+	ev.at, ev.seq, ev.proc, ev.fn = t, e.seq, p, fn
+	if t == e.now {
+		e.nowQ = append(e.nowQ, ev)
+	} else {
+		e.pushHeap(ev)
+	}
 }
 
 // At schedules fn to run in engine context at absolute virtual time t.
@@ -155,6 +250,9 @@ type Proc struct {
 	eng    *Engine
 	resume chan struct{}
 	done   bool
+	// unwind, when set, makes the next resume panic the haltUnwind
+	// sentinel so the goroutine's defers run and it exits.
+	unwind bool
 	// blockedOn describes what the process is waiting for, for deadlock
 	// diagnostics.
 	blockedOn string
@@ -179,22 +277,46 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // SpawnAt is Spawn with an explicit start time.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{Name: name, eng: e, resume: make(chan struct{})}
-	e.procs[p] = struct{}{}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.maybeCompactProcs()
 	go func() {
 		<-p.resume
 		defer func() {
-			if r := recover(); r != nil {
-				e.panicked = &PanicError{Proc: name, Value: r}
+			if r := recover(); r != nil && !IsHaltUnwind(r) {
+				if e.panicked == nil {
+					e.panicked = &PanicError{Proc: name, Value: r}
+				}
 				e.halted = true
 			}
 			p.done = true
-			delete(e.procs, p)
+			e.live--
 			e.parked <- struct{}{}
 		}()
-		fn(p)
+		if !p.unwind {
+			fn(p)
+		}
 	}()
 	e.schedule(t, p, nil)
 	return p
+}
+
+// maybeCompactProcs drops finished entries from the diagnostics slice once
+// they dominate it, keeping Spawn amortized O(1) without unbounded growth.
+func (e *Engine) maybeCompactProcs() {
+	if e.unwinding || len(e.procs) < 64 || len(e.procs) < 2*e.live {
+		return
+	}
+	kept := e.procs[:0]
+	for _, p := range e.procs {
+		if !p.done {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(e.procs); i++ {
+		e.procs[i] = nil
+	}
+	e.procs = kept
 }
 
 // PanicError reports that a simulation process panicked.
@@ -215,12 +337,28 @@ func (e *PanicError) Unwrap() error {
 	return nil
 }
 
+// haltUnwind is the sentinel panicked through abandoned processes after a
+// halt so their goroutines (and defers) unwind instead of leaking.
+type haltUnwind struct{}
+
+// IsHaltUnwind reports whether a recovered panic value is the engine's
+// post-halt unwind sentinel. Code that recovers inside a sim process (to
+// translate panics into errors, say) must re-panic values for which this
+// returns true, or halted engines cannot release their goroutines.
+func IsHaltUnwind(v interface{}) bool {
+	_, ok := v.(haltUnwind)
+	return ok
+}
+
 // park blocks the calling process and returns control to the engine loop.
 // Something must later wake the process via engine.wake.
 func (p *Proc) park(why string) {
 	p.blockedOn = why
 	p.eng.parked <- struct{}{}
 	<-p.resume
+	if p.unwind {
+		panic(haltUnwind{})
+	}
 	p.blockedOn = ""
 }
 
@@ -270,42 +408,101 @@ func (e *DeadlockError) Error() string {
 // Run executes events until the queue drains. It returns a *DeadlockError if
 // processes remain blocked when no events are left, or nil on clean
 // completion (all spawned processes finished).
+//
+// However the run ends — clean, halted, deadlocked, or panicked — Run
+// unwinds every unfinished process before returning: each is resumed with a
+// private sentinel that panics through its stack (running defers) and is
+// swallowed by the engine, so no goroutines leak and tools may run many
+// engines in one process.
 func (e *Engine) Run() error {
-	for e.evq.Len() > 0 && !e.halted {
-		ev := heap.Pop(&e.evq).(*event)
-		if e.MaxTime != 0 && ev.at > e.MaxTime {
-			e.halted = true
-			break
-		}
-		e.now = ev.at
-		if ev.proc != nil {
-			if !ev.proc.done {
-				e.runProc(ev.proc)
+	for !e.halted {
+		var ev *event
+		switch {
+		case len(e.heap) > 0 && e.heap[0].at == e.now:
+			// Heap entries at the current instant were scheduled
+			// before the clock reached it, so they precede every
+			// nowQ entry (smaller seq).
+			ev = e.popHeap()
+		case e.nowQHead < len(e.nowQ):
+			ev = e.nowQ[e.nowQHead]
+			e.nowQ[e.nowQHead] = nil
+			e.nowQHead++
+		default:
+			// Current instant exhausted: advance the clock.
+			e.nowQ = e.nowQ[:0]
+			e.nowQHead = 0
+			if len(e.heap) == 0 {
+				goto done
 			}
-			continue
+			ev = e.popHeap()
+			if e.MaxTime != 0 && ev.at > e.MaxTime {
+				e.free(ev)
+				e.halted = true
+				goto done
+			}
+			e.now = ev.at
 		}
-		if ev.fn != nil {
-			ev.fn()
+		{
+			// Copy out and free before dispatch: the handler may
+			// schedule, which reuses pooled events.
+			p, fn := ev.proc, ev.fn
+			e.free(ev)
+			if p != nil {
+				if !p.done { // lazy cancellation: skip dead processes
+					e.runProc(p)
+				}
+			} else if fn != nil {
+				fn()
+			}
 		}
 	}
+done:
+	var err error
 	if e.panicked != nil {
-		return e.panicked
-	}
-	if len(e.procs) > 0 && !e.halted {
+		err = e.panicked
+	} else if e.live > 0 && !e.halted {
 		var blocked []string
-		for p := range e.procs {
+		for _, p := range e.procs {
+			if p.done {
+				continue
+			}
 			blocked = append(blocked, fmt.Sprintf("%s (on %s)", p.Name, p.blockedOn))
 		}
 		sort.Strings(blocked)
-		return &DeadlockError{Time: e.now, Blocked: blocked}
+		err = &DeadlockError{Time: e.now, Blocked: blocked}
 	}
-	return nil
+	e.unwindProcs()
+	if err == nil && e.panicked != nil {
+		// A defer panicked for real while unwinding; surface it.
+		err = e.panicked
+	}
+	return err
 }
 
-// Halt stops the run after the current event completes. Remaining blocked
-// processes are abandoned (their goroutines stay parked until process exit),
-// so Halt is intended for command-line tools and fatal-error paths, not for
-// tests that run many engines.
+// unwindProcs resumes every unfinished process with the unwind flag set so
+// it panics the haltUnwind sentinel, runs its defers, and exits. Processes
+// spawned while unwinding (by a defer) are unwound too, without ever
+// running their body.
+func (e *Engine) unwindProcs() {
+	e.unwinding = true
+	for i := 0; i < len(e.procs); i++ {
+		p := e.procs[i]
+		for !p.done {
+			p.unwind = true
+			e.runProc(p)
+		}
+	}
+	e.unwinding = false
+	for i := range e.procs {
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+}
+
+// Halt stops the run after the current event completes. Run then unwinds
+// any remaining processes (their defers run; their bodies do not continue)
+// before returning, so halting leaks nothing and is safe in tests and
+// long-lived tools alike.
 func (e *Engine) Halt() { e.halted = true }
 
 // Halted reports whether the engine stopped via Halt or MaxTime.

@@ -51,6 +51,8 @@ type BucketSnap struct {
 
 // Snapshot exports the registry's current state at virtual time atNs.
 func (r *Registry) Snapshot(atNs int64) *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	snap := &Snapshot{AtNs: atNs, Families: []FamilySnap{}, index: map[string]int{}}
 	for _, f := range r.sortedFamilies() {
 		fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind.String()}

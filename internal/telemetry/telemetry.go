@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind discriminates metric families.
@@ -50,7 +51,13 @@ type Label struct {
 // NewRegistry. A registry may be shared across several engine runs (the
 // bench harness does this to aggregate a sweep); counters then accumulate
 // across runs.
+//
+// Concurrency: direct mutation (Add, Set, Observe) is only safe from a
+// single goroutine — in practice, simulation context. An aggregate registry
+// fed exclusively through Merge may receive merges from many goroutines
+// concurrently; Merge and Snapshot lock, single-run mutators do not.
 type Registry struct {
+	mu       sync.Mutex // guards Merge/Snapshot on shared aggregates
 	clock    func() int64
 	families map[string]*family
 	names    []string // insertion order, for stable iteration before sorting
@@ -236,6 +243,57 @@ func (h *Histogram) Count() uint64 { return h.s.count }
 
 // Sum reports the total of observed samples.
 func (h *Histogram) Sum() int64 { return h.s.sum }
+
+// Merge folds every series of src into r. Rules are commutative so a set of
+// merges lands in the same final state regardless of completion order, which
+// keeps parallel sweeps deterministic: counters and histogram buckets add,
+// gauges keep the maximum (peak semantics across runs), histogram min/max
+// widen, and timestamps keep the latest. src must be quiescent (its run
+// finished); r may be merged into from several goroutines concurrently.
+func (r *Registry) Merge(src *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range src.names {
+		sf := src.families[name]
+		for _, k := range sf.order {
+			ss := sf.series[k]
+			kv := make([]string, 0, 2*len(sf.keys))
+			for i, key := range sf.keys {
+				kv = append(kv, key, ss.values[i])
+			}
+			mergeSeries(r.get(name, sf.help, sf.kind, kv), ss, sf.kind)
+		}
+	}
+}
+
+// mergeSeries applies the per-kind commutative merge of src into dst.
+func mergeSeries(dst, src *series, kind Kind) {
+	switch kind {
+	case KindCounter:
+		dst.ival += src.ival
+	case KindGauge:
+		if src.fval > dst.fval {
+			dst.fval = src.fval
+		}
+	case KindHistogram:
+		if src.count > 0 {
+			if dst.count == 0 || src.min < dst.min {
+				dst.min = src.min
+			}
+			if src.max > dst.max {
+				dst.max = src.max
+			}
+			for i := range dst.buckets {
+				dst.buckets[i] += src.buckets[i]
+			}
+			dst.count += src.count
+			dst.sum += src.sum
+		}
+	}
+	if src.lastNs > dst.lastNs {
+		dst.lastNs = src.lastNs
+	}
+}
 
 // sortedFamilies returns the families ordered by name.
 func (r *Registry) sortedFamilies() []*family {
