@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"impacc/internal/bench"
+	"impacc/internal/prof"
 	"impacc/internal/telemetry"
 )
 
@@ -39,6 +40,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast run")
 		csv     = fs.String("csv", "", "also write <id>.csv files with the raw series into this directory")
 		metrics = fs.String("metrics", "", "write the aggregate telemetry of every run to this file (Prometheus text if it ends in .prom, JSON otherwise)")
+		profile = fs.String("prof", "", "trace every run and write the aggregate profile (critical path, top sites) to this file (JSON if it ends in .json, text otherwise)")
 		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "run up to N simulations concurrently (output stays byte-identical)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
@@ -107,6 +109,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		// safe and order-independent).
 		opt.Metrics = telemetry.NewRegistry()
 	}
+	if *profile != "" {
+		// One aggregate shared by every run; Add is commutative so the
+		// snapshot is byte-identical for any -j.
+		opt.Prof = prof.NewAggregate()
+	}
 	// Experiments run through the worker pool (up to -j simulations at once)
 	// with buffered output, then print in canonical order: the bytes on
 	// stdout are identical for any -j.
@@ -132,7 +139,32 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "metrics -> %s\n", *metrics)
 	}
+	if *profile != "" {
+		if err := writeProfile(*profile, opt.Prof.Snapshot(prof.DefaultTopSites)); err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: prof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "profile -> %s\n", *profile)
+	}
 	return 0
+}
+
+// writeProfile stores the aggregate profile at path: indented JSON when the
+// path ends in .json, the human-readable table otherwise.
+func writeProfile(path string, ap *prof.AggProfile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = ap.WriteJSON(f)
+	} else {
+		err = ap.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeMetrics stores a telemetry snapshot at path: Prometheus text

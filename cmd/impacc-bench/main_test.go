@@ -81,3 +81,44 @@ func TestMetricsAggregate(t *testing.T) {
 		}
 	}
 }
+
+// TestProfDeterministicAcrossJobs runs the same profiled sweep serially and
+// with 8 workers; the aggregate profile JSON must be byte-identical.
+func TestProfDeterministicAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	run := func(jobs string, path string) []byte {
+		var out, errb bytes.Buffer
+		args := []string{"-exp", "fig6", "-quick", "-j", jobs, "-prof", path}
+		if rc := realMain(args, &out, &errb); rc != 0 {
+			t.Fatalf("realMain -j %s = %d, stderr:\n%s", jobs, rc, errb.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	serial := run("1", filepath.Join(dir, "serial.json"))
+	parallel := run("8", filepath.Join(dir, "parallel.json"))
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("profile JSON differs between -j 1 and -j 8:\n%s\n---\n%s", serial, parallel)
+	}
+	var ap struct {
+		Runs       int              `json:"runs"`
+		CritPathNs map[string]int64 `json:"critical_path_ns"`
+		MakespanNs int64            `json:"makespan_ns"`
+	}
+	if err := json.Unmarshal(serial, &ap); err != nil {
+		t.Fatalf("profile not JSON: %v", err)
+	}
+	if ap.Runs == 0 {
+		t.Fatal("aggregate profile saw no runs")
+	}
+	var sum int64
+	for _, v := range ap.CritPathNs {
+		sum += v
+	}
+	if sum != ap.MakespanNs {
+		t.Errorf("aggregate critical path %d != summed makespan %d", sum, ap.MakespanNs)
+	}
+}

@@ -97,6 +97,7 @@ func main() {
 		backed  = flag.Bool("backed", false, "attach real storage (compute genuine data)")
 		seed    = flag.Uint64("seed", 2016, "random seed")
 		trace   = flag.String("trace", "", "write a Chrome-trace timeline (view in Perfetto) to this file")
+		profile = flag.String("prof", "", "write an mpiP-style profile (critical path, imbalance, top sites) to this file (JSON if it ends in .json, text otherwise)")
 		report  = flag.String("report", "", "write the full run report as JSON to this file")
 		metrics = flag.String("metrics", "", "write the run's telemetry snapshot to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 	)
@@ -131,7 +132,7 @@ func main() {
 		System: sys, Mode: m, MaxTasks: *tasks, DeviceTypes: mask,
 		Backed: *backed, Seed: *seed, JitterPct: 1,
 	}
-	if *trace != "" {
+	if *trace != "" || *profile != "" {
 		cfg.Trace = core.NewTracer()
 	}
 
@@ -167,6 +168,17 @@ func main() {
 		fatal(cfg.Trace.WriteChromeTrace(f))
 		fatal(f.Close())
 		fmt.Printf("  trace: %d spans -> %s\n", cfg.Trace.Len(), *trace)
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		fatal(err)
+		if strings.HasSuffix(*profile, ".json") {
+			fatal(rep.Prof.WriteJSON(f))
+		} else {
+			fatal(rep.Prof.WriteText(f))
+		}
+		fatal(f.Close())
+		fmt.Printf("  profile: %d sites -> %s\n", len(rep.Prof.Sites), *profile)
 	}
 	if *report != "" {
 		f, err := os.Create(*report)

@@ -221,15 +221,27 @@ func (e *Env) IsPresent(host xmem.Addr) bool {
 // otherwise it returns immediately with the kernel queued on queue async
 // (paper §3.6).
 func (e *Env) Kernels(p *sim.Proc, spec device.KernelSpec, async int) *sim.Event {
+	lstart := p.Now()
 	p.Sleep(e.Ctx.Dev.Spec.KernelLaunch)
+	e.hostSpan("launch", spec.Name, lstart, p.Now())
 	if async < 0 {
 		ev := e.Stream(SyncQueue).EnqueueKernel(spec)
 		start := p.Now()
 		ev.Wait(p)
 		e.WaitTime += sim.Dur(p.Now() - start)
+		e.hostSpan("accwait", spec.Name, start, p.Now())
 		return ev
 	}
 	return e.Stream(async).EnqueueKernel(spec)
+}
+
+// hostSpan records a host-lane trace span when tracing is on. Launch
+// overhead gets its own kind so profile breakdowns separate API cost from
+// time genuinely blocked on the accelerator.
+func (e *Env) hostSpan(kind, name string, start, end sim.Time) {
+	if sink := e.Ctx.Sink; sink != nil && end > start {
+		sink.Span(sink.NewID(), -1, kind, name, start, end, 0)
+	}
 }
 
 // Wait implements "#pragma acc wait(q)": block until queue q drains.
@@ -264,5 +276,5 @@ func (e *Env) WaitAsync(q, r int) {
 	if !ok || q == r {
 		return
 	}
-	e.Stream(r).EnqueueWaitEvent(src.Done())
+	e.Stream(r).EnqueueWaitStream(src)
 }

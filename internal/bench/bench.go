@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"impacc/internal/core"
+	"impacc/internal/prof"
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
 	"impacc/internal/topo"
@@ -25,6 +26,10 @@ type Options struct {
 	// aggregating all of their telemetry into one registry (each run merges
 	// its private registry on completion).
 	Metrics *telemetry.Registry
+	// Prof, when non-nil, traces every run and folds its analyzed profile
+	// into the aggregate (Add is commutative, so parallel sweeps snapshot
+	// byte-identically to serial ones).
+	Prof *prof.Aggregate
 	// Jobs is the worker-pool width set via WithJobs; <= 1 means serial.
 	Jobs int
 

@@ -31,7 +31,14 @@ func runGated(opt Options, cfg core.Config, prog core.Program) (*core.Report, er
 		opt.gate <- struct{}{}
 		defer func() { <-opt.gate }()
 	}
-	return core.Run(cfg, prog)
+	if opt.Prof != nil && cfg.Trace == nil {
+		cfg.Trace = core.NewTracer()
+	}
+	rep, err := core.Run(cfg, prog)
+	if err == nil && opt.Prof != nil {
+		opt.Prof.Add(rep.Prof)
+	}
+	return rep, err
 }
 
 // parMap applies f to every item, concurrently when the options carry a

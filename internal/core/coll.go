@@ -80,12 +80,14 @@ func (c *Comm) Barrier() {
 		dst := c.ranks[(me+off)%n]
 		src := c.ranks[(me-off+n)%n]
 		start := t.proc.Now()
+		mark := t.traceMark()
 		s := t.postSend(t.proc, t.scratch, 1, dst, tag, o)
 		r := t.postRecv(t.proc, t.scratch, 1, src, tag, o)
 		s.Done.Wait(t.proc)
 		r.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("barrier", start)
+		t.mpiSpan("barrier", start, mark, -1, 0)
 		t.checkCmd(s)
 		t.checkCmd(r)
 		round++
@@ -139,9 +141,11 @@ func (c *Comm) Bcast(addr xmem.Addr, count int, dt mpi.Datatype, root int, opts 
 	leaders, myLeader := c.leaders(root)
 
 	start := t.proc.Now()
+	mark := t.traceMark()
 	defer func() {
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("bcast", start)
+		t.mpiSpan("bcast", start, mark, -1, bytes)
 	}()
 
 	// Phase 1 among node leaders: a segmented pipelined binomial tree for
@@ -287,6 +291,7 @@ func (c *Comm) Reduce(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, 
 
 	if n > 1 {
 		start := t.proc.Now()
+		mark := t.traceMark()
 		tmp := t.tempAlloc(bytes)
 		for _, child := range mpi.ReduceChildren(c.myRank, root, n) {
 			r := t.postRecv(t.proc, tmp, bytes, c.ranks[child], base-1, callOpts{async: -1, comm: c.id})
@@ -302,6 +307,7 @@ func (c *Comm) Reduce(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, 
 		t.tempFree(tmp)
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("reduce", start)
+		t.mpiSpan("reduce", start, mark, -1, bytes)
 	}
 }
 
@@ -322,15 +328,18 @@ func (c *Comm) Gather(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr x
 	sbuf, bytes := t.resolveBuf(sendAddr, count, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
+		mark := t.traceMark()
 		s := t.postSend(t.proc, sbuf, bytes, c.ranks[root], base-1, o)
 		s.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("gather", start)
+		t.mpiSpan("gather", start, mark, c.ranks[root], bytes)
 		t.checkCmd(s)
 		return
 	}
 	rbuf, _ := t.resolveBuf(recvAddr, count*c.Size(), dt, o)
 	start := t.proc.Now()
+	mark := t.traceMark()
 	var reqs []*msg.Cmd
 	for crank := 0; crank < c.Size(); crank++ {
 		slot := rbuf + xmem.Addr(int64(crank)*bytes)
@@ -346,6 +355,7 @@ func (c *Comm) Gather(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr x
 	}
 	t.commTime += dur(t.proc.Now() - start)
 	t.mpiObserve("gather", start)
+	t.mpiSpan("gather", start, mark, -1, bytes*int64(c.Size()))
 }
 
 // Scatter is MPI_Scatter: block rank*count of the root's send buffer lands
@@ -359,15 +369,18 @@ func (c *Comm) Scatter(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr 
 	rbuf, bytes := t.resolveBuf(recvAddr, count, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
+		mark := t.traceMark()
 		r := t.postRecv(t.proc, rbuf, bytes, c.ranks[root], base-1, o)
 		r.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("scatter", start)
+		t.mpiSpan("scatter", start, mark, c.ranks[root], bytes)
 		t.checkCmd(r)
 		return
 	}
 	sbuf, _ := t.resolveBuf(sendAddr, count*c.Size(), dt, o)
 	start := t.proc.Now()
+	mark := t.traceMark()
 	var reqs []*msg.Cmd
 	for crank := 0; crank < c.Size(); crank++ {
 		slot := sbuf + xmem.Addr(int64(crank)*bytes)
@@ -383,6 +396,7 @@ func (c *Comm) Scatter(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr 
 	}
 	t.commTime += dur(t.proc.Now() - start)
 	t.mpiObserve("scatter", start)
+	t.mpiSpan("scatter", start, mark, -1, bytes*int64(c.Size()))
 }
 
 // Allgather is MPI_Allgather: Gather to rank 0 followed by a Bcast of the
@@ -406,6 +420,7 @@ func (c *Comm) Alltoall(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr
 	blk := int64(count) * dt.Size()
 	t.localCopy(rbuf+xmem.Addr(int64(me)*blk), sbuf+xmem.Addr(int64(me)*blk), blk)
 	start := t.proc.Now()
+	mark := t.traceMark()
 	var reqs []*msg.Cmd
 	for step := 1; step < n; step++ {
 		dst := (me + step) % n
@@ -420,6 +435,7 @@ func (c *Comm) Alltoall(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr
 	}
 	t.commTime += dur(t.proc.Now() - start)
 	t.mpiObserve("alltoall", start)
+	t.mpiSpan("alltoall", start, mark, -1, blk*int64(n-1))
 }
 
 // ---- helpers -----------------------------------------------------------
@@ -488,6 +504,7 @@ func (c *Comm) Scan(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, op
 	t.localCopy(rbuf, sbuf, bytes)
 	me := c.myRank
 	start := t.proc.Now()
+	mark := t.traceMark()
 	if me > 0 {
 		prefix := t.tempAlloc(bytes)
 		r := t.postRecv(t.proc, prefix, bytes, c.ranks[me-1], base-1, o)
@@ -505,6 +522,7 @@ func (c *Comm) Scan(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, op
 	}
 	t.commTime += dur(t.proc.Now() - start)
 	t.mpiObserve("scan", start)
+	t.mpiSpan("scan", start, mark, -1, bytes)
 }
 
 // ReduceScatter is MPI_Reduce_scatter_block over MPI_COMM_WORLD.
@@ -530,10 +548,12 @@ func (c *Comm) Gatherv(sendAddr xmem.Addr, sendCount int, dt mpi.Datatype,
 	sbuf, sbytes := t.resolveBuf(sendAddr, sendCount, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
+		mark := t.traceMark()
 		s := t.postSend(t.proc, sbuf, sbytes, c.ranks[root], base-1, o)
 		s.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("gatherv", start)
+		t.mpiSpan("gatherv", start, mark, c.ranks[root], sbytes)
 		t.checkCmd(s)
 		return
 	}
@@ -548,6 +568,7 @@ func (c *Comm) Gatherv(sendAddr xmem.Addr, sendCount int, dt mpi.Datatype,
 	}
 	rbuf, _ := t.resolveBuf(recvAddr, total, dt, o)
 	start := t.proc.Now()
+	mark := t.traceMark()
 	var reqs []*msg.Cmd
 	for crank := 0; crank < c.Size(); crank++ {
 		slot := rbuf + xmem.Addr(int64(displs[crank])*dt.Size())
@@ -564,6 +585,7 @@ func (c *Comm) Gatherv(sendAddr xmem.Addr, sendCount int, dt mpi.Datatype,
 	}
 	t.commTime += dur(t.proc.Now() - start)
 	t.mpiObserve("gatherv", start)
+	t.mpiSpan("gatherv", start, mark, -1, 0)
 }
 
 // Scatterv is MPI_Scatterv: the root sends counts[i] elements from offset
@@ -578,10 +600,12 @@ func (c *Comm) Scatterv(sendAddr xmem.Addr, counts, displs []int, dt mpi.Datatyp
 	rbuf, rbytes := t.resolveBuf(recvAddr, recvCount, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
+		mark := t.traceMark()
 		r := t.postRecv(t.proc, rbuf, rbytes, c.ranks[root], base-1, o)
 		r.Done.Wait(t.proc)
 		t.commTime += dur(t.proc.Now() - start)
 		t.mpiObserve("scatterv", start)
+		t.mpiSpan("scatterv", start, mark, c.ranks[root], rbytes)
 		t.checkCmd(r)
 		return
 	}
@@ -596,6 +620,7 @@ func (c *Comm) Scatterv(sendAddr xmem.Addr, counts, displs []int, dt mpi.Datatyp
 	}
 	sbuf, _ := t.resolveBuf(sendAddr, total, dt, o)
 	start := t.proc.Now()
+	mark := t.traceMark()
 	var reqs []*msg.Cmd
 	for crank := 0; crank < c.Size(); crank++ {
 		slot := sbuf + xmem.Addr(int64(displs[crank])*dt.Size())
@@ -612,6 +637,7 @@ func (c *Comm) Scatterv(sendAddr xmem.Addr, counts, displs []int, dt mpi.Datatyp
 	}
 	t.commTime += dur(t.proc.Now() - start)
 	t.mpiObserve("scatterv", start)
+	t.mpiSpan("scatterv", start, mark, -1, 0)
 }
 
 // Gatherv is MPI_Gatherv over MPI_COMM_WORLD.

@@ -95,6 +95,7 @@ func (t *Task) newCmd(isSend bool, buf xmem.Addr, bytes int64, src, dst, tag int
 // postSend initiates the send on process p and returns its command.
 func (t *Task) postSend(p *sim.Proc, buf xmem.Addr, bytes int64, dst, tag int, o callOpts) *msg.Cmd {
 	cmd := t.newCmd(true, buf, bytes, t.rank, dst, tag, o)
+	t.traceCmd(p, cmd)
 	if t.sameNode(dst) {
 		t.node.hub.PostIntra(p, cmd)
 	} else {
@@ -106,6 +107,7 @@ func (t *Task) postSend(p *sim.Proc, buf xmem.Addr, bytes int64, dst, tag int, o
 // postRecv posts the receive on process p.
 func (t *Task) postRecv(p *sim.Proc, buf xmem.Addr, bytes int64, src, tag int, o callOpts) *msg.Cmd {
 	cmd := t.newCmd(false, buf, bytes, src, t.rank, tag, o)
+	t.traceCmd(p, cmd)
 	if src != AnySource && t.sameNode(src) {
 		t.node.hub.PostIntra(p, cmd)
 	} else {
@@ -114,16 +116,6 @@ func (t *Task) postRecv(p *sim.Proc, buf xmem.Addr, bytes int64, src, tag int, o
 		t.node.hub.PostNetRecv(p, cmd)
 	}
 	return cmd
-}
-
-// commWait blocks the task until ev fires, accounting the time as
-// communication.
-func (t *Task) commWait(ev *sim.Event) {
-	start := t.proc.Now()
-	ev.Wait(t.proc)
-	t.commTime += sim.Dur(t.proc.Now() - start)
-	t.mpiObserve("wait", start)
-	t.span("mpi", "wait", start)
 }
 
 func (t *Task) checkCmd(cmd *msg.Cmd) {
@@ -189,7 +181,7 @@ func (t *Task) sendOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, dst, 
 	cmd.Done.Wait(t.proc)
 	t.commTime += sim.Dur(t.proc.Now() - start)
 	t.mpiObserve("send", start)
-	t.span("mpi", "send", start)
+	t.mpiSpan("send", start, -1, wdst, bytes, cmd)
 	t.checkCmd(cmd)
 }
 
@@ -214,7 +206,7 @@ func (t *Task) recvOn(c *Comm, addr xmem.Addr, count int, dt mpi.Datatype, src, 
 	cmd.Done.Wait(t.proc)
 	t.commTime += sim.Dur(t.proc.Now() - start)
 	t.mpiObserve("recv", start)
-	t.span("mpi", "recv", start)
+	t.mpiSpan("recv", start, -1, cmd.MatchedSrc, cmd.MatchedBytes, cmd)
 	t.checkCmd(cmd)
 }
 
@@ -265,7 +257,23 @@ func (t *Task) Wait(reqs ...*Request) {
 		if r == nil {
 			continue
 		}
-		t.commWait(r.done)
+		start := t.proc.Now()
+		r.done.Wait(t.proc)
+		t.commTime += sim.Dur(t.proc.Now() - start)
+		t.mpiObserve("wait", start)
+		cmd := r.cmd
+		if cmd == nil && r.uq != nil {
+			cmd = r.uq.cmd
+		}
+		peer, bytes := -1, int64(0)
+		if cmd != nil {
+			if cmd.IsSend {
+				peer, bytes = cmd.Dst, cmd.Bytes
+			} else {
+				peer, bytes = cmd.MatchedSrc, cmd.MatchedBytes
+			}
+		}
+		t.mpiSpan("wait", start, -1, peer, bytes, cmd)
 		if r.cmd != nil {
 			t.checkCmd(r.cmd)
 		}
@@ -295,14 +303,30 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 	}
 	op := &uqOp{proxy: t.rt.Eng.NewEvent(name + "-done")}
 	hop := strings.TrimPrefix(name, "mpi_")
+	tr := t.rt.Cfg.Trace
 	t.env.Stream(q).EnqueueFunc(name, func(p *sim.Proc) {
 		start := p.Now()
 		cmd := init(p)
 		op.cmd = cmd
+		if tr != nil && cmd.TraceID != 0 {
+			// The queued operation observes its own command: its span is
+			// recorded on the stream lane under the command's trace ID, so
+			// message edges point at the stream activity, not the host.
+			tr.claim(cmd.TraceID, cmd.TraceID)
+		}
 		cmd.Done.OnFire(func() {
 			// Latency of the queued op itself: from when the queue
 			// reached it to command completion.
 			t.mpiObserve(hop, start)
+			if tr != nil && cmd.TraceID != 0 {
+				peer, bytes := cmd.Dst, cmd.Bytes
+				if !cmd.IsSend {
+					peer, bytes = cmd.MatchedSrc, cmd.MatchedBytes
+				}
+				tr.record(Span{ID: cmd.TraceID, Rank: t.rank, Node: t.pl.Node,
+					Stream: q, Kind: "mpi", Name: hop, Start: start,
+					End: t.rt.Eng.Now(), Bytes: bytes, Peer: peer})
+			}
 			op.proxy.Fire()
 		})
 	})
@@ -368,6 +392,7 @@ func (t *Task) Waitany(reqs ...*Request) int {
 	if len(reqs) == 0 {
 		return -1
 	}
+	var lastWait uint64
 	for {
 		for i, r := range reqs {
 			if r == nil {
@@ -375,6 +400,9 @@ func (t *Task) Waitany(reqs ...*Request) int {
 			}
 			if r.done.Fired() {
 				if r.cmd != nil {
+					if tr := t.rt.Cfg.Trace; tr != nil && lastWait != 0 && r.cmd.TraceID != 0 {
+						tr.claim(r.cmd.TraceID, lastWait)
+					}
 					t.checkCmd(r.cmd)
 				}
 				return i
@@ -387,6 +415,10 @@ func (t *Task) Waitany(reqs ...*Request) int {
 				r.done.OnFire(any.Fire)
 			}
 		}
-		t.commWait(any)
+		start := t.proc.Now()
+		any.Wait(t.proc)
+		t.commTime += sim.Dur(t.proc.Now() - start)
+		t.mpiObserve("wait", start)
+		lastWait = t.mpiSpan("wait", start, -1, -1, 0)
 	}
 }

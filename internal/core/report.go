@@ -7,6 +7,7 @@ import (
 
 	"impacc/internal/device"
 	"impacc/internal/msg"
+	"impacc/internal/prof"
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
 	"impacc/internal/topo"
@@ -50,6 +51,9 @@ type Report struct {
 	// Metrics is the full telemetry registry snapshot taken at run end,
 	// after link utilization gauges are recorded. See internal/telemetry.
 	Metrics *telemetry.Snapshot
+	// Prof is the causal-trace profile (critical path, per-rank breakdowns,
+	// call-site table); nil unless the run was traced. See internal/prof.
+	Prof *prof.Profile
 }
 
 func (rt *Runtime) buildReport() *Report {
@@ -105,6 +109,7 @@ func (rt *Runtime) buildReport() *Report {
 	r.Metrics = rt.Eng.Metrics.Snapshot(int64(rt.Eng.Now()))
 	if rt.Cfg.Trace != nil {
 		rt.Cfg.Trace.AttachMetrics(r.Metrics)
+		r.Prof = prof.Analyze(rt.Cfg.Trace.Data(sim.Time(r.Elapsed)), prof.DefaultTopSites)
 	}
 	return r
 }
@@ -187,5 +192,12 @@ func (r *Report) Print(w io.Writer) {
 		fmt.Fprintf(w, "  utilization: NIC %.1f%%  PCIe %.1f%% (aggregate across nodes/devices)\n",
 			100*nic.Seconds()/(r.Elapsed.Seconds()*float64(len(r.Hubs))),
 			100*pcie.Seconds()/(r.Elapsed.Seconds()*float64(max(1, len(r.Tasks)))))
+	}
+	if r.Prof != nil {
+		fmt.Fprintf(w, "  critical path:")
+		for _, k := range r.Prof.CritPath.SortedKinds() {
+			fmt.Fprintf(w, "  %s %v", k, sim.Dur(r.Prof.CritPath.ByKindNs[k]))
+		}
+		fmt.Fprintf(w, "  (%d hops)\n", r.Prof.CritPath.Hops)
 	}
 }

@@ -113,6 +113,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				hub:   msg.NewHub(rt.Eng, rt.Fab, pl.Node, mcfg, heap),
 				devrt: device.NewRuntime(rt.Eng, rt.Fab, pl.Node),
 			}
+			if tr := cfg.Trace; tr != nil {
+				// Record the send→recv causal edge at the instant the hub
+				// matches the pair (intranode or internode).
+				ns.hub.OnMatch = func(sendID, recvID uint64, post sim.Time, bytes int64) {
+					tr.msgEdge(sendID, recvID, post, rt.Eng.Now(), bytes)
+				}
+			}
 			if cfg.Mode == IMPACC {
 				ns.space = xmem.NewSpace(
 					fmt.Sprintf("node%d", pl.Node),

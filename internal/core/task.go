@@ -51,6 +51,25 @@ type Task struct {
 // dur converts an elapsed virtual-time difference to a duration.
 func dur(x sim.Time) sim.Dur { return sim.Dur(x) }
 
+// taskSink adapts the tracer to device.TraceSink, stamping device spans
+// with the owning task's rank and node.
+type taskSink struct {
+	tr   *Tracer
+	rank int
+	node int
+}
+
+func (s *taskSink) NewID() uint64 { return s.tr.NewID() }
+
+func (s *taskSink) Span(id uint64, stream int, kind, name string, start, end sim.Time, bytes int64) {
+	s.tr.record(Span{ID: id, Rank: s.rank, Node: s.node, Stream: stream,
+		Kind: kind, Name: name, Start: start, End: end, Bytes: bytes, Peer: -1})
+}
+
+func (s *taskSink) Edge(kind string, from, to uint64, at sim.Time) {
+	s.tr.depEdge(kind, from, to, at)
+}
+
 // newTask wires one task's space, endpoint, device context, and ACC env.
 func (rt *Runtime) newTask(rank int, pl Placement, ns *nodeState) *Task {
 	t := &Task{rank: rank, rt: rt, node: ns, pl: pl}
@@ -71,11 +90,7 @@ func (rt *Runtime) newTask(rank int, pl Placement, ns *nodeState) *Task {
 	// pinning the user's heap.
 	ctx := ns.devrt.NewContext(pl.Device, t.space, rt.pinSocket(pl), rt.Cfg.Backed, false)
 	if rt.Cfg.Trace != nil {
-		tr := rt.Cfg.Trace
-		rank, node := rank, pl.Node
-		ctx.Trace = func(kind, name string, start, end sim.Time) {
-			tr.add(Span{Rank: rank, Node: node, Kind: kind, Name: name, Start: start, End: end})
-		}
+		ctx.Sink = &taskSink{tr: rt.Cfg.Trace, rank: rank, node: pl.Node}
 	}
 	t.ep = &msg.Endpoint{Rank: rank, Node: pl.Node, Space: t.space, Ctx: ctx}
 	t.env = acc.NewEnv(ctx)
@@ -313,8 +328,10 @@ func (t *Task) Kernels(spec device.KernelSpec, async int) {
 // ACCWait is "#pragma acc wait(q)": drains queued device work and any MPI
 // operations in flight on queue q.
 func (t *Task) ACCWait(q int) {
+	start := t.proc.Now()
 	t.uqBarrier(q)
 	t.env.Wait(t.proc, q)
+	t.span("accwait", "wait", start)
 }
 
 // ACCWaitAll is "#pragma acc wait" over every queue.
@@ -326,10 +343,12 @@ func (t *Task) ACCWaitAll() {
 		}
 	}
 	sort.Ints(qs)
+	start := t.proc.Now()
 	for _, q := range qs {
 		t.uqBarrier(q)
 	}
 	t.env.WaitAll(t.proc)
+	t.span("accwait", "waitall", start)
 }
 
 // DevicePtr is acc_deviceptr.

@@ -7,26 +7,42 @@ import (
 	"sort"
 	"strings"
 
+	"impacc/internal/msg"
+	"impacc/internal/prof"
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
 )
 
-// Span is one traced interval of virtual time on a task's timeline.
-type Span struct {
-	Rank  int      `json:"rank"`
-	Node  int      `json:"node"`
-	Kind  string   `json:"kind"` // kernel | copy | mpi | compute | accwait
-	Name  string   `json:"name"`
-	Start sim.Time `json:"start"` // virtual nanoseconds
-	End   sim.Time `json:"end"`
+// Span is one traced interval of virtual time on an execution lane; the
+// concrete type lives in internal/prof so the analyzer can consume traces
+// without importing the runtime.
+type Span = prof.Span
+
+// rawEdge is a dependency recorded during the run. Message edges carry
+// command trace IDs (resolved to the claiming spans at export time); stream
+// and event edges carry span IDs directly.
+type rawEdge struct {
+	kind     string // msg | stream | event
+	from, to uint64
+	post, at sim.Time
+	bytes    int64
 }
 
-// Tracer collects execution spans when attached via Config.Trace. The
-// engine runs one process at a time, so appends need no locking; spans are
-// in completion order.
+// Tracer collects execution spans and causal edges when attached via
+// Config.Trace. The engine runs one process at a time, so appends need no
+// locking; spans are in completion order.
 type Tracer struct {
 	spans   []Span
+	edges   []rawEdge
+	nextID  uint64
+	claims  map[uint64]uint64 // command trace ID -> claiming span ID
+	pending map[int][]uint64  // rank -> posted, not-yet-claimed command IDs
 	metrics *telemetry.Snapshot
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{claims: map[uint64]uint64{}, pending: map[int][]uint64{}}
 }
 
 // AttachMetrics attaches a run-end metrics snapshot. WriteChromeTrace then
@@ -35,8 +51,67 @@ type Tracer struct {
 // The runtime attaches the report snapshot automatically when tracing.
 func (tr *Tracer) AttachMetrics(snap *telemetry.Snapshot) { tr.metrics = snap }
 
-// NewTracer returns an empty tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+// NewID allocates a fresh trace ID. The engine is single-threaded, so a
+// plain counter is deterministic.
+func (tr *Tracer) NewID() uint64 {
+	tr.nextID++
+	return tr.nextID
+}
+
+// record appends a span, allocating its ID when unset, and returns the ID.
+func (tr *Tracer) record(s Span) uint64 {
+	if s.ID == 0 {
+		s.ID = tr.NewID()
+	}
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	tr.spans = append(tr.spans, s)
+	return s.ID
+}
+
+// msgEdge records a send→recv match: from/to are command trace IDs, post is
+// when the sender initiated the operation, at the match instant.
+func (tr *Tracer) msgEdge(from, to uint64, post, at sim.Time, bytes int64) {
+	tr.edges = append(tr.edges, rawEdge{kind: "msg", from: from, to: to, post: post, at: at, bytes: bytes})
+}
+
+// depEdge records a stream or event ordering edge between span IDs.
+func (tr *Tracer) depEdge(kind string, from, to uint64, at sim.Time) {
+	tr.edges = append(tr.edges, rawEdge{kind: kind, from: from, to: to, at: at})
+}
+
+// registerPending notes a command posted by rank whose observing span is
+// not yet known.
+func (tr *Tracer) registerPending(rank int, id uint64) {
+	tr.pending[rank] = append(tr.pending[rank], id)
+}
+
+// pendingMark returns a scope marker for claimSince.
+func (tr *Tracer) pendingMark(rank int) int { return len(tr.pending[rank]) }
+
+// claim binds command cmdID to span spanID; the first claim wins, so an
+// inner blocking call keeps its precise span even when an enclosing
+// collective sweeps the region afterwards.
+func (tr *Tracer) claim(cmdID, spanID uint64) {
+	if _, ok := tr.claims[cmdID]; !ok {
+		tr.claims[cmdID] = spanID
+	}
+}
+
+// claimSince claims every command rank posted after mark for spanID — the
+// bracket used by collectives, whose internal sends and receives all belong
+// to one host span.
+func (tr *Tracer) claimSince(rank, mark int, spanID uint64) {
+	pend := tr.pending[rank]
+	if mark < 0 || mark > len(pend) {
+		return
+	}
+	for _, id := range pend[mark:] {
+		tr.claim(id, spanID)
+	}
+	tr.pending[rank] = pend[:mark]
+}
 
 // Spans returns the collected spans sorted by start time.
 func (tr *Tracer) Spans() []Span {
@@ -45,7 +120,10 @@ func (tr *Tracer) Spans() []Span {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
-		return out[i].Rank < out[j].Rank
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].ID < out[j].ID
 	})
 	return out
 }
@@ -53,11 +131,50 @@ func (tr *Tracer) Spans() []Span {
 // Len reports the number of spans.
 func (tr *Tracer) Len() int { return len(tr.spans) }
 
-func (tr *Tracer) add(s Span) {
-	if s.End < s.Start {
-		s.End = s.Start
+// maxEnd is the latest span end — the makespan fallback when the tracer is
+// exported without a run report.
+func (tr *Tracer) maxEnd() sim.Time {
+	var m sim.Time
+	for i := range tr.spans {
+		if tr.spans[i].End > m {
+			m = tr.spans[i].End
+		}
 	}
-	tr.spans = append(tr.spans, s)
+	return m
+}
+
+// Data assembles the causal trace: spans sorted by ID and edges with
+// message endpoints resolved from command IDs to their claiming spans.
+// Edges whose endpoints have no recorded span are dropped.
+func (tr *Tracer) Data(makespan sim.Time) prof.Trace {
+	spans := append([]Span(nil), tr.spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+	ids := make(map[uint64]bool, len(spans))
+	for i := range spans {
+		ids[spans[i].ID] = true
+	}
+	resolve := func(id uint64) uint64 {
+		if sp, ok := tr.claims[id]; ok && ids[sp] {
+			return sp
+		}
+		return id
+	}
+	edges := make([]prof.Edge, 0, len(tr.edges))
+	for _, e := range tr.edges {
+		pe := prof.Edge{Kind: e.kind, From: e.from, To: e.to, At: e.at, Post: e.post, Bytes: e.bytes}
+		if e.kind == "msg" {
+			pe.From = resolve(e.from)
+			pe.To = resolve(e.to)
+		}
+		if !ids[pe.From] || !ids[pe.To] {
+			continue
+		}
+		edges = append(edges, pe)
+	}
+	if makespan < tr.maxEnd() {
+		makespan = tr.maxEnd()
+	}
+	return prof.Trace{Makespan: makespan, Spans: spans, Edges: edges}
 }
 
 // WriteJSON emits the spans as a JSON array.
@@ -67,33 +184,81 @@ func (tr *Tracer) WriteJSON(w io.Writer) error {
 	return enc.Encode(tr.Spans())
 }
 
-// chromeEvent is one entry of the Chrome trace event format ("X" complete
-// events), loadable in chrome://tracing and Perfetto. pid = node,
-// tid = rank, timestamps in microseconds of virtual time.
+// chromeEvent is one entry of the Chrome trace event format, loadable in
+// chrome://tracing and Perfetto: "M" metadata, "X" complete spans, "s"/"f"
+// message flows, "C" counters. pid = node; tid = rank for the host lane and
+// (rank+1)*1e6+queue for device lanes; timestamps in microseconds of
+// virtual time.
 type chromeEvent struct {
-	Name string             `json:"name"`
-	Cat  string             `json:"cat"`
-	Ph   string             `json:"ph"`
-	Ts   float64            `json:"ts"`
-	Dur  float64            `json:"dur"`
-	Pid  int                `json:"pid"`
-	Tid  int                `json:"tid"`
-	Args map[string]float64 `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace emits the spans in Chrome trace event format.
+// chromeTid maps a span to its Chrome thread lane.
+func chromeTid(s *Span) int {
+	if s.Stream < 0 {
+		return s.Rank
+	}
+	return (s.Rank+1)*1_000_000 + s.Stream
+}
+
+// WriteChromeTrace emits the trace in Chrome trace event format: metadata
+// naming every process/thread lane, complete events per span (with bytes
+// and peer args on data-carrying spans), flow events connecting every
+// matched send/recv span pair, and counter events from the attached
+// metrics snapshot.
 func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(tr.spans))
+	data := tr.Data(0)
+	events := metadataEvents(data.Spans)
+	byID := make(map[uint64]*Span, len(data.Spans))
+	for i := range data.Spans {
+		byID[data.Spans[i].ID] = &data.Spans[i]
+	}
 	for _, s := range tr.Spans() {
-		events = append(events, chromeEvent{
+		ev := chromeEvent{
 			Name: fmt.Sprintf("%s:%s", s.Kind, s.Name),
 			Cat:  s.Kind,
 			Ph:   "X",
 			Ts:   float64(s.Start) / 1e3,
 			Dur:  float64(s.End-s.Start) / 1e3,
 			Pid:  s.Node,
-			Tid:  s.Rank,
-		})
+			Tid:  chromeTid(&s),
+		}
+		if s.Bytes > 0 || s.Peer >= 0 {
+			ev.Args = map[string]any{}
+			if s.Bytes > 0 {
+				ev.Args["bytes"] = s.Bytes
+			}
+			if s.Peer >= 0 {
+				ev.Args["peer"] = s.Peer
+			}
+		}
+		events = append(events, ev)
+	}
+	flow := 0
+	for _, e := range data.Edges {
+		if e.Kind != "msg" {
+			continue
+		}
+		from, to := byID[e.From], byID[e.To]
+		flow++
+		fts := float64(to.End) / 1e3
+		if sts := float64(from.End) / 1e3; fts < sts {
+			fts = sts // flows must not point backwards in trace time
+		}
+		events = append(events,
+			chromeEvent{Name: "msg", Cat: "msg", Ph: "s", ID: flow,
+				Ts: float64(from.End) / 1e3, Pid: from.Node, Tid: chromeTid(from)},
+			chromeEvent{Name: "msg", Cat: "msg", Ph: "f", BP: "e", ID: flow,
+				Ts: fts, Pid: to.Node, Tid: chromeTid(to)})
 	}
 	events = append(events, tr.counterEvents()...)
 	return json.NewEncoder(w).Encode(struct {
@@ -101,10 +266,58 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	}{events})
 }
 
+// metadataEvents names every process ("node N") and thread lane ("rank R",
+// "rank R q<Q>") appearing in the spans, sorted for determinism.
+func metadataEvents(spans []Span) []chromeEvent {
+	nodes := map[int]bool{}
+	type laneKey struct{ pid, tid int }
+	lanes := map[laneKey]string{}
+	for i := range spans {
+		s := &spans[i]
+		nodes[s.Node] = true
+		name := fmt.Sprintf("rank %d", s.Rank)
+		if s.Stream >= 0 {
+			name = fmt.Sprintf("rank %d q%d", s.Rank, s.Stream)
+		}
+		lanes[laneKey{s.Node, chromeTid(s)}] = name
+	}
+	pids := make([]int, 0, len(nodes))
+	for n := range nodes {
+		pids = append(pids, n)
+	}
+	sort.Ints(pids)
+	var out []chromeEvent
+	for _, pid := range pids {
+		out = append(out, chromeEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", pid)},
+		})
+	}
+	keys := make([]laneKey, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	for _, k := range keys {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: k.pid, Tid: k.tid,
+			Args: map[string]any{"name": lanes[k]},
+		})
+	}
+	return out
+}
+
 // counterEvents converts the attached snapshot's counter and gauge series
-// into Chrome counter events at the time of their last mutation. Histograms
-// and the (potentially huge) per-resource monitor families are left to the
-// JSON/Prometheus exports.
+// into Chrome counter events at the time of their last mutation, sorted by
+// timestamp with a name tie-break so the trace bytes are deterministic
+// regardless of snapshot family order. Histograms and the (potentially
+// huge) per-resource monitor families are left to the JSON/Prometheus
+// exports.
 func (tr *Tracer) counterEvents() []chromeEvent {
 	if tr.metrics == nil {
 		return nil
@@ -132,19 +345,67 @@ func (tr *Tracer) counterEvents() []chromeEvent {
 				Cat:  "metric",
 				Ph:   "C",
 				Ts:   float64(s.LastNs) / 1e3,
-				Args: map[string]float64{"value": v},
+				Args: map[string]any{"value": v},
 			})
 		}
 	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ts != out[j].Ts {
+			return out[i].Ts < out[j].Ts
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
-// span records an interval on the task's timeline when tracing is enabled.
+// span records an interval on the task's host lane when tracing is enabled.
 func (t *Task) span(kind, name string, start sim.Time) {
 	tr := t.rt.Cfg.Trace
 	if tr == nil {
 		return
 	}
-	tr.add(Span{Rank: t.rank, Node: t.pl.Node, Kind: kind, Name: name,
-		Start: start, End: t.proc.Now()})
+	tr.record(Span{Rank: t.rank, Node: t.pl.Node, Stream: -1, Kind: kind,
+		Name: name, Start: start, End: t.proc.Now(), Peer: -1})
+}
+
+// traceMark opens a claim scope for a collective (see Tracer.claimSince);
+// -1 when tracing is off.
+func (t *Task) traceMark() int {
+	if tr := t.rt.Cfg.Trace; tr != nil {
+		return tr.pendingMark(t.rank)
+	}
+	return -1
+}
+
+// mpiSpan records a blocking MPI interval on the host lane and claims the
+// listed commands (plus, when mark >= 0, every command posted since mark)
+// so that message edges resolve to this span. Returns the span ID (0 when
+// tracing is off).
+func (t *Task) mpiSpan(name string, start sim.Time, mark, peer int, bytes int64, cmds ...*msg.Cmd) uint64 {
+	tr := t.rt.Cfg.Trace
+	if tr == nil {
+		return 0
+	}
+	id := tr.record(Span{Rank: t.rank, Node: t.pl.Node, Stream: -1, Kind: "mpi",
+		Name: name, Start: start, End: t.proc.Now(), Bytes: bytes, Peer: peer})
+	for _, c := range cmds {
+		if c != nil && c.TraceID != 0 {
+			tr.claim(c.TraceID, id)
+		}
+	}
+	if mark >= 0 {
+		tr.claimSince(t.rank, mark, id)
+	}
+	return id
+}
+
+// traceCmd tags a freshly posted command for causal tracing.
+func (t *Task) traceCmd(p *sim.Proc, cmd *msg.Cmd) {
+	tr := t.rt.Cfg.Trace
+	if tr == nil {
+		return
+	}
+	cmd.TraceID = tr.NewID()
+	cmd.PostedAt = p.Now()
+	tr.registerPending(t.rank, cmd.TraceID)
 }

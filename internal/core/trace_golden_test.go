@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenTracer hand-crafts a small but complete trace: host compute,
+// a matched send/recv pair (flow events), device-lane kernel and copy with
+// a stream edge, a cross-stream wait with an event edge, and an attached
+// metrics snapshot (counter events). IDs are allocated in program order
+// exactly as the runtime would.
+func buildGoldenTracer() *Tracer {
+	tr := NewTracer()
+	sendCmd := tr.NewID() // 1: send command posted by rank 0
+	recvCmd := tr.NewID() // 2: recv command posted by rank 1
+	tr.registerPending(0, sendCmd)
+	tr.registerPending(1, recvCmd)
+
+	tr.record(Span{Rank: 0, Node: 0, Stream: -1, Kind: "compute", Name: "host",
+		Start: 0, End: 1000, Peer: -1}) // 3
+	sendSpan := tr.record(Span{Rank: 0, Node: 0, Stream: -1, Kind: "mpi", Name: "send",
+		Start: 1000, End: 3000, Bytes: 4096, Peer: 1}) // 4
+	tr.claim(sendCmd, sendSpan)
+	recvSpan := tr.record(Span{Rank: 1, Node: 1, Stream: -1, Kind: "mpi", Name: "recv",
+		Start: 500, End: 3200, Bytes: 4096, Peer: 0}) // 5
+	tr.claim(recvCmd, recvSpan)
+	tr.msgEdge(sendCmd, recvCmd, 1000, 2500, 4096)
+
+	k := tr.NewID() // 6: kernel enqueued on rank 0 queue 1
+	c := tr.NewID() // 7: copy chained behind it
+	tr.depEdge("stream", k, c, 1200)
+	tr.record(Span{ID: k, Rank: 0, Node: 0, Stream: 1, Kind: "kernel", Name: "stencil",
+		Start: 1500, End: 2500, Peer: -1})
+	tr.record(Span{ID: c, Rank: 0, Node: 0, Stream: 1, Kind: "copy", Name: "DtoH",
+		Start: 2500, End: 2600, Bytes: 8192, Peer: -1})
+	w := tr.NewID() // 8: cross-stream wait on rank 0 queue 2
+	tr.depEdge("event", c, w, 1300)
+	tr.record(Span{ID: w, Rank: 0, Node: 0, Stream: 2, Kind: "accwait", Name: "qwait",
+		Start: 1300, End: 2600, Peer: -1})
+
+	tr.AttachMetrics(&telemetry.Snapshot{AtNs: 5000, Families: []telemetry.FamilySnap{
+		{Name: "msg_net_out_total", Kind: "counter", Series: []telemetry.SeriesSnap{
+			{Labels: []telemetry.Label{{Key: "node", Value: "0"}}, LastNs: 2500, Value: 2},
+		}},
+		{Name: "link_utilization", Kind: "gauge", Series: []telemetry.SeriesSnap{
+			{LastNs: 5000, GaugeValue: 0.5},
+		}},
+		// Histograms are excluded from counter events.
+		{Name: "device_kernel_duration_ns", Kind: "histogram", Series: []telemetry.SeriesSnap{
+			{LastNs: 2500, Count: 1, Sum: 1000},
+		}},
+	}})
+	return tr
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden file %s (run with -update to regenerate)\ngot:  %s\nwant: %s",
+			path, buf.Bytes(), want)
+	}
+}

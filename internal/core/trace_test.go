@@ -79,9 +79,25 @@ func TestTracerJSONOutputs(t *testing.T) {
 	if len(chrome.TraceEvents) == 0 {
 		t.Fatal("no chrome events")
 	}
-	ev := chrome.TraceEvents[0]
-	if ev["ph"] != "X" || ev["name"] == "" {
-		t.Fatalf("chrome event malformed: %v", ev)
+	// Metadata events lead; complete ("X") spans must follow and be
+	// well-formed.
+	var sawMeta, sawSpan bool
+	for _, ev := range chrome.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			sawMeta = true
+			if sawSpan {
+				t.Fatalf("metadata event after span events: %v", ev)
+			}
+		case "X":
+			sawSpan = true
+			if ev["name"] == "" {
+				t.Fatalf("chrome event malformed: %v", ev)
+			}
+		}
+	}
+	if !sawMeta || !sawSpan {
+		t.Fatalf("missing metadata or span events (meta=%v span=%v)", sawMeta, sawSpan)
 	}
 }
 

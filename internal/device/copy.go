@@ -85,6 +85,13 @@ func (c *Context) record(dir Direction, n int64, elapsed sim.Dur) {
 // peer path when the topology allows it, otherwise they stage through host
 // memory (DtoH then HtoD), exactly the distinction Figure 14 measures.
 func (c *Context) Transfer(p *sim.Proc, dst, src xmem.Addr, n int64) (Direction, error) {
+	return c.transferLane(p, -1, 0, dst, src, n)
+}
+
+// transferLane is Transfer attributed to a trace lane: stream copies pass
+// their queue number and pre-allocated trace ID; synchronous copies run on
+// the host lane (-1) and allocate an ID on demand.
+func (c *Context) transferLane(p *sim.Proc, lane int, id uint64, dst, src xmem.Addr, n int64) (Direction, error) {
 	if n < 0 {
 		return HtoH, fmt.Errorf("device: Transfer: negative size %d", n)
 	}
@@ -122,8 +129,11 @@ func (c *Context) Transfer(p *sim.Proc, dst, src xmem.Addr, n int64) (Direction,
 		return dir, err
 	}
 	c.record(dir, n, sim.Dur(p.Now()-start))
-	if c.Trace != nil {
-		c.Trace("copy", dir.String(), start, p.Now())
+	if c.Sink != nil {
+		if id == 0 {
+			id = c.Sink.NewID()
+		}
+		c.Sink.Span(id, lane, "copy", dir.String(), start, p.Now(), n)
 	}
 	return dir, nil
 }

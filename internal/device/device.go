@@ -191,6 +191,18 @@ func (s *Stats) CopyCount() int64 {
 	return s.HtoDCount + s.DtoHCount + s.DtoDCount + s.HtoHCount
 }
 
+// TraceSink receives the context's execution trace: spans for every kernel
+// and copy (stream operations carry the activity-queue lane, synchronous
+// transfers the host lane) and the ordering edges between stream
+// operations. Implemented by the core tracer; nil when tracing is off.
+// Span IDs are pre-allocated with NewID at enqueue time so dependency
+// edges can reference operations that have not completed yet.
+type TraceSink interface {
+	NewID() uint64
+	Span(id uint64, stream int, kind, name string, start, end sim.Time, bytes int64)
+	Edge(kind string, from, to uint64, at sim.Time)
+}
+
 // Context is a task's view of one device: it binds the device to the task's
 // address space and pinned CPU socket (which determines NUMA transfer
 // penalties). It corresponds to a CUDA context / OpenCL command-queue
@@ -201,9 +213,8 @@ type Context struct {
 	Socket int // pinned CPU socket; -1 if unpinned (OS placement)
 	Stats  Stats
 	Backed bool // whether allocations carry real storage
-	// Trace, when non-nil, receives a callback for every kernel and copy
-	// with its virtual-time interval (execution tracing).
-	Trace func(kind, name string, start, end sim.Time)
+	// Sink, when non-nil, receives the context's causal execution trace.
+	Sink TraceSink
 	// Pinned marks the context's host buffers as page-locked. The IMPACC
 	// runtime pre-pins its buffers (paper §3.7); legacy application
 	// buffers are pageable and transfer slower.

@@ -23,6 +23,9 @@ type Stream struct {
 	lastDone   *sim.Event
 	pending    int
 	kernelHist *telemetry.Histogram
+	// tail is the trace ID of the last traced operation enqueued, the
+	// source of the next in-order "stream" edge (0 = none yet).
+	tail uint64
 }
 
 // streamOp is one queue entry.
@@ -79,12 +82,29 @@ func (s *Stream) enqueue(name string, run func(p *sim.Proc), cb func(at sim.Time
 	return done
 }
 
+// chainID allocates a trace ID for the operation being enqueued and records
+// the in-order dependency edge from the stream's previous traced operation.
+// Returns 0 when tracing is off.
+func (s *Stream) chainID() uint64 {
+	sink := s.Ctx.Sink
+	if sink == nil {
+		return 0
+	}
+	id := sink.NewID()
+	if s.tail != 0 {
+		sink.Edge("stream", s.tail, id, s.Ctx.Dev.rt.Eng.Now())
+	}
+	s.tail = id
+	return id
+}
+
 // EnqueueCopy schedules an asynchronous memory copy (cuMemcpyAsync /
 // clEnqueue{Read,Write}Buffer with CL_NON_BLOCKING) and returns its
 // completion event.
 func (s *Stream) EnqueueCopy(dst, src xmem.Addr, n int64) *sim.Event {
+	id := s.chainID()
 	return s.enqueue("copy", func(p *sim.Proc) {
-		if _, err := s.Ctx.Transfer(p, dst, src, n); err != nil {
+		if _, err := s.Ctx.transferLane(p, s.ID, id, dst, src, n); err != nil {
 			panic(fmt.Sprintf("stream copy: %v", err))
 		}
 	}, nil)
@@ -94,8 +114,9 @@ func (s *Stream) EnqueueCopy(dst, src xmem.Addr, n int64) *sim.Event {
 // cuStreamAddCallback pattern the runtime uses for fully asynchronous
 // internode sends (paper §3.7).
 func (s *Stream) EnqueueCopyWithCallback(dst, src xmem.Addr, n int64, cb func(at sim.Time)) *sim.Event {
+	id := s.chainID()
 	return s.enqueue("copy+cb", func(p *sim.Proc) {
-		if _, err := s.Ctx.Transfer(p, dst, src, n); err != nil {
+		if _, err := s.Ctx.transferLane(p, s.ID, id, dst, src, n); err != nil {
 			panic(fmt.Sprintf("stream copy: %v", err))
 		}
 	}, cb)
@@ -105,6 +126,7 @@ func (s *Stream) EnqueueCopyWithCallback(dst, src xmem.Addr, n int64, cb func(at
 // serializes kernels from all streams of the device; the kernel's Body (if
 // any) executes at completion so data results are real.
 func (s *Stream) EnqueueKernel(k KernelSpec) *sim.Event {
+	id := s.chainID()
 	return s.enqueue("kernel:"+k.Name, func(p *sim.Proc) {
 		dur := Duration(s.Ctx.Dev.Spec, k)
 		start := s.Ctx.Dev.compute.Use(p, dur, 0)
@@ -116,8 +138,8 @@ func (s *Stream) EnqueueKernel(k KernelSpec) *sim.Event {
 		if s.kernelHist != nil {
 			s.kernelHist.Observe(int64(dur))
 		}
-		if s.Ctx.Trace != nil {
-			s.Ctx.Trace("kernel", k.Name, start, start+sim.Time(dur))
+		if sink := s.Ctx.Sink; sink != nil && id != 0 {
+			sink.Span(id, s.ID, "kernel", k.Name, start, start+sim.Time(dur), 0)
 		}
 	}, nil)
 }
@@ -170,6 +192,25 @@ func (rt *Runtime) CloseAll() {
 func (s *Stream) EnqueueWaitEvent(ev *sim.Event) *sim.Event {
 	return s.enqueue("wait-event", func(p *sim.Proc) {
 		ev.Wait(p)
+	}, nil)
+}
+
+// EnqueueWaitStream is EnqueueWaitEvent on src's current tail (cuEventRecord
+// on src, cuStreamWaitEvent here), recording the cross-stream "event" edge
+// and an accwait span over the actual wait interval for the causal trace.
+func (s *Stream) EnqueueWaitStream(src *Stream) *sim.Event {
+	ev := src.Done()
+	sink := s.Ctx.Sink
+	id := s.chainID()
+	if sink != nil && id != 0 && src.tail != 0 {
+		sink.Edge("event", src.tail, id, s.Ctx.Dev.rt.Eng.Now())
+	}
+	return s.enqueue("wait-event", func(p *sim.Proc) {
+		start := p.Now()
+		ev.Wait(p)
+		if sink != nil && id != 0 {
+			sink.Span(id, s.ID, "accwait", "qwait", start, p.Now(), 0)
+		}
 	}, nil)
 }
 

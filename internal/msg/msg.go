@@ -95,6 +95,11 @@ type Cmd struct {
 	// received size) — meaningful for wildcard receives.
 	MatchedSrc, MatchedTag int
 	MatchedBytes           int64
+	// TraceID tags the command for causal tracing (0 = untraced); PostedAt
+	// records when the task initiated the operation. Both are set by the
+	// core runtime when a tracer is attached and surface in Hub.OnMatch.
+	TraceID  uint64
+	PostedAt sim.Time
 
 	snapshot []byte // eager-buffered data for internode sends
 	// seq is the hub-local posting order stamp, assigned when the command
@@ -132,6 +137,10 @@ type netMsg struct {
 	// device memory (no receive-side staging copy).
 	direct bool
 	seq    uint64 // hub-local arrival order stamp (see Cmd.seq)
+	// SendID/SendPost carry the sending command's trace identity across the
+	// network so the destination hub can report the match (see Hub.OnMatch).
+	SendID   uint64
+	SendPost sim.Time
 }
 
 // Stats is a snapshot of the hub's counters, used by the Figure 6/7
@@ -182,6 +191,12 @@ type Hub struct {
 	Node int
 	Cfg  Config
 	Heap *xmem.HeapTable
+
+	// OnMatch, when set, is invoked at every send/recv match instant with
+	// the pair's trace IDs, the send's posting time, and the payload size —
+	// the hook the causal tracer uses to record message edges. Called only
+	// when both sides carry a trace ID.
+	OnMatch func(sendID, recvID uint64, post sim.Time, bytes int64)
 
 	ctr hubCounters
 
@@ -479,6 +494,9 @@ func (h *Hub) completePair(send, recv *Cmd) {
 	if recv.Bytes < send.Bytes {
 		h.fail(send, recv, fmt.Errorf("msg: truncation: recv %d bytes < send %d", recv.Bytes, send.Bytes))
 		return
+	}
+	if h.OnMatch != nil && send.TraceID != 0 && recv.TraceID != 0 {
+		h.OnMatch(send.TraceID, recv.TraceID, send.PostedAt, send.Bytes)
 	}
 	recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = send.Src, send.Tag, send.Bytes
 	if send.Bytes == 0 {

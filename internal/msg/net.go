@@ -40,7 +40,8 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 		unlock()
 		h.ctr.netOut.Inc()
 		end := h.Fab.NetSendAsync(h.Node, dst.Node, 0)
-		m := &netMsg{Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, SrcEp: cmd.Ep}
+		m := &netMsg{Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, SrcEp: cmd.Ep,
+			SendID: cmd.TraceID, SendPost: cmd.PostedAt}
 		h.Eng.At(end, func() {
 			cmd.Done.Fire()
 			dst.deliver(m)
@@ -103,6 +104,7 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 		Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, Bytes: n,
 		SrcEp: cmd.Ep, SrcAddr: cmd.Addr, snapshot: cmd.snapshot,
 		direct: direct,
+		SendID: cmd.TraceID, SendPost: cmd.PostedAt,
 	}
 	h.runChain(stages, func() {
 		cmd.Done.Fire()
@@ -156,6 +158,9 @@ func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
 	if recv.Bytes < m.Bytes {
 		h.fail(nil, recv, fmt.Errorf("msg: truncation: recv %d bytes < message %d", recv.Bytes, m.Bytes))
 		return
+	}
+	if h.OnMatch != nil && m.SendID != 0 && recv.TraceID != 0 {
+		h.OnMatch(m.SendID, recv.TraceID, m.SendPost, m.Bytes)
 	}
 	recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, m.Bytes
 	if m.Bytes == 0 {

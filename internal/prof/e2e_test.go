@@ -1,0 +1,175 @@
+package prof_test
+
+// End-to-end acceptance of the causal-tracing pipeline: for every app and
+// runtime mode in the matrix, the critical-path attribution must account
+// for every nanosecond of the makespan exactly, message edges must resolve
+// to real span pairs, and a repeated run must produce byte-identical
+// profile JSON.
+
+import (
+	"bytes"
+	"testing"
+
+	"impacc/internal/apps"
+	"impacc/internal/core"
+	"impacc/internal/prof"
+	"impacc/internal/sim"
+	"impacc/internal/topo"
+)
+
+type matrixCase struct {
+	name     string
+	mode     core.Mode
+	prog     func() core.Program
+	wantMsgs bool // app communicates, so the trace must carry msg edges
+}
+
+func matrix() []matrixCase {
+	return []matrixCase{
+		{"jacobi-impacc-unified", core.IMPACC,
+			func() core.Program {
+				return apps.Jacobi(apps.JacobiConfig{N: 256, Iters: 4, Style: apps.StyleUnified})
+			}, true},
+		{"jacobi-impacc-sync", core.IMPACC,
+			func() core.Program {
+				return apps.Jacobi(apps.JacobiConfig{N: 256, Iters: 4, Style: apps.StyleSync})
+			}, true},
+		{"jacobi-legacy-async", core.Legacy,
+			func() core.Program {
+				return apps.Jacobi(apps.JacobiConfig{N: 256, Iters: 4, Style: apps.StyleAsync})
+			}, true},
+		{"dgemm-impacc", core.IMPACC,
+			func() core.Program {
+				return apps.DGEMM(apps.DGEMMConfig{N: 256, Style: apps.StyleUnified})
+			}, true},
+		{"ep-impacc", core.IMPACC,
+			func() core.Program {
+				return apps.EP(apps.EPConfig{Class: apps.EPClassS, Style: apps.StyleUnified, SampleShift: 12})
+			}, true},
+		{"lulesh-impacc", core.IMPACC,
+			func() core.Program {
+				return apps.LULESH(apps.LULESHConfig{Edge: 4, Steps: 2})
+			}, true},
+	}
+}
+
+// tracedRun executes one matrix case and returns the report plus the
+// profile's JSON bytes.
+func tracedRun(t *testing.T, mc matrixCase) (*core.Report, []byte) {
+	t.Helper()
+	cfg := core.Config{
+		System: topo.Beacon(2), Mode: mc.mode, Seed: 2016, JitterPct: 1,
+		Trace: core.NewTracer(),
+	}
+	rep, err := core.Run(cfg, mc.prog())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Prof == nil {
+		t.Fatal("traced run produced no profile")
+	}
+	var buf bytes.Buffer
+	if err := rep.Prof.WriteJSON(&buf); err != nil {
+		t.Fatalf("profile JSON: %v", err)
+	}
+	return rep, buf.Bytes()
+}
+
+func TestProfileMatrix(t *testing.T) {
+	for _, mc := range matrix() {
+		t.Run(mc.name, func(t *testing.T) {
+			rep, js := tracedRun(t, mc)
+			p := rep.Prof
+
+			// Exactness: the per-kind critical-path attribution covers the
+			// makespan with no gap and no overlap.
+			var sum int64
+			for _, v := range p.CritPath.ByKindNs {
+				sum += v
+			}
+			if sum != p.MakespanNs {
+				t.Errorf("critical path sums to %d ns, makespan %d ns (%v)",
+					sum, p.MakespanNs, p.CritPath.ByKindNs)
+			}
+			if p.MakespanNs != int64(rep.Elapsed) {
+				t.Errorf("profile makespan %d != report elapsed %d", p.MakespanNs, int64(rep.Elapsed))
+			}
+			if p.Spans == 0 {
+				t.Error("no spans collected")
+			}
+			if mc.wantMsgs && p.MsgEdges == 0 {
+				t.Error("communicating app produced no message edges")
+			}
+			if len(p.Ranks) != rep.NTasks {
+				t.Errorf("%d rank breakdowns for %d tasks", len(p.Ranks), rep.NTasks)
+			}
+			// Host-lane kinds partition the makespan per rank.
+			for _, rb := range p.Ranks {
+				var hostSum int64
+				for _, v := range rb.HostNs {
+					hostSum += v
+				}
+				if hostSum != p.MakespanNs {
+					t.Errorf("rank %d host kinds sum to %d, want %d (%v)",
+						rb.Rank, hostSum, p.MakespanNs, rb.HostNs)
+				}
+			}
+
+			// Determinism: an identical run yields byte-identical profiles.
+			_, js2 := tracedRun(t, mc)
+			if !bytes.Equal(js, js2) {
+				t.Error("repeated run produced different profile JSON")
+			}
+
+			// The text report renders without error.
+			var txt bytes.Buffer
+			if err := p.WriteText(&txt); err != nil || txt.Len() == 0 {
+				t.Errorf("text report: err=%v len=%d", err, txt.Len())
+			}
+		})
+	}
+}
+
+// TestFlowEdgesResolve checks that every exported msg edge connects two
+// recorded spans on the expected ranks, via the tracer's Data view.
+func TestFlowEdgesResolve(t *testing.T) {
+	tr := core.NewTracer()
+	cfg := core.Config{
+		System: topo.Beacon(2), Mode: core.IMPACC, Seed: 2016, JitterPct: 1, Trace: tr,
+	}
+	rep, err := core.Run(cfg, apps.Jacobi(apps.JacobiConfig{N: 256, Iters: 3, Style: apps.StyleUnified}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := tr.Data(sim.Time(rep.Elapsed))
+	byID := map[uint64]*prof.Span{}
+	for i := range data.Spans {
+		byID[data.Spans[i].ID] = &data.Spans[i]
+	}
+	msgs := 0
+	for _, e := range data.Edges {
+		if e.Kind != "msg" {
+			continue
+		}
+		msgs++
+		from, to := byID[e.From], byID[e.To]
+		if from == nil || to == nil {
+			t.Fatalf("msg edge %+v has unresolved endpoint", e)
+		}
+		if from.Rank == to.Rank {
+			t.Errorf("msg edge connects spans of the same rank %d: %d -> %d", from.Rank, e.From, e.To)
+		}
+		if e.Post > e.At {
+			t.Errorf("msg edge posted after match: %+v", e)
+		}
+	}
+	if msgs == 0 {
+		t.Fatal("no msg edges in jacobi trace")
+	}
+	// Every neighbor exchange of every iteration produced an edge:
+	// 8 ranks in a chain = 7 neighbor pairs, 2 messages per pair per iter.
+	wantMin := 7 * 2 * 3
+	if msgs < wantMin {
+		t.Errorf("got %d msg edges, want at least %d", msgs, wantMin)
+	}
+}

@@ -1,0 +1,535 @@
+// Package prof analyzes causal execution traces: on top of the span+edge
+// DAG the tracer collects (internal/core), it computes the critical path of
+// a run and attributes its virtual time by activity kind, builds per-rank
+// time breakdowns with load-imbalance statistics, and aggregates an
+// mpiP-style top-N table per (kind, name) call site. The package is a leaf:
+// it depends only on the simulation clock types, so the core runtime can
+// embed its results in run reports.
+package prof
+
+import (
+	"sort"
+
+	"impacc/internal/sim"
+)
+
+// Span is one traced interval of virtual time on an execution lane. Host
+// code (compute, blocking MPI, acc waits, synchronous copies) runs on the
+// rank's host lane (Stream < 0); kernels, asynchronous copies, and unified
+// activity queue MPI operations run on device stream lanes (Stream >= 0).
+type Span struct {
+	ID     uint64   `json:"id"`
+	Rank   int      `json:"rank"`
+	Node   int      `json:"node"`
+	Stream int      `json:"stream"` // -1 = host lane, else device activity queue
+	Kind   string   `json:"kind"`   // kernel | copy | mpi | compute | accwait | launch
+	Name   string   `json:"name"`
+	Start  sim.Time `json:"start"` // virtual nanoseconds
+	End    sim.Time `json:"end"`
+	Bytes  int64    `json:"bytes,omitempty"` // payload size for copy/mpi spans
+	Peer   int      `json:"peer"`            // peer rank of mpi spans; -1 = none
+}
+
+// Edge is one dependency between spans.
+//
+//   - "msg": an MPI send→recv match. From/To are the spans that performed
+//     (or completed) the send and the receive; Post is when the sender
+//     initiated the operation, At when the pair matched.
+//   - "stream": in-order completion between consecutive operations on one
+//     device activity queue.
+//   - "event": a cross-stream wait (cuStreamWaitEvent), from the awaited
+//     stream's tail operation to the waiting operation.
+//
+// Same-rank program order is implicit: spans on one lane of one rank are
+// ordered by their intervals and never overlap causally.
+type Edge struct {
+	Kind  string   `json:"kind"` // msg | stream | event
+	From  uint64   `json:"from"`
+	To    uint64   `json:"to"`
+	At    sim.Time `json:"at"`
+	Post  sim.Time `json:"post,omitempty"`
+	Bytes int64    `json:"bytes,omitempty"`
+}
+
+// Trace is a complete causal trace of one run.
+type Trace struct {
+	Makespan sim.Time `json:"makespan_ns"`
+	Spans    []Span   `json:"spans"`
+	Edges    []Edge   `json:"edges"`
+}
+
+// DefaultTopSites bounds the aggregate call-site table of a profile.
+const DefaultTopSites = 20
+
+// CritPath is the critical-path attribution of a run: walking backward from
+// the task that finished last, every nanosecond of the makespan is assigned
+// to exactly one kind, following message edges to the sender whenever a
+// blocking MPI interval was caused by a late-posted send (load imbalance)
+// rather than by transfer cost. The per-kind times sum to MakespanNs.
+type CritPath struct {
+	ByKindNs map[string]int64 `json:"by_kind_ns"`
+	Steps    int              `json:"steps"`
+	Hops     int              `json:"hops"` // rank switches along message edges
+	EndRank  int              `json:"end_rank"`
+}
+
+// RankBreakdown is one rank's flattened time accounting. Host-lane kinds
+// partition the makespan ("other" covers idle gaps); device-lane kinds sum
+// the rank's stream activity (overlap between streams counted once).
+type RankBreakdown struct {
+	Rank     int              `json:"rank"`
+	Node     int              `json:"node"`
+	HostNs   map[string]int64 `json:"host_ns"`
+	DeviceNs map[string]int64 `json:"device_ns,omitempty"`
+}
+
+// Imbalance is the cross-rank distribution of one kind's per-rank time
+// (host + device lanes combined), the mpiP-style max/mean statistics.
+type Imbalance struct {
+	Kind        string  `json:"kind"`
+	MaxNs       int64   `json:"max_ns"`
+	MinNs       int64   `json:"min_ns"`
+	MeanNs      int64   `json:"mean_ns"`
+	StddevNs    int64   `json:"stddev_ns"`
+	MaxOverMean float64 `json:"max_over_mean"`
+}
+
+// Site is one (kind, name) aggregate call site, mpiP's top-N table unit.
+type Site struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	MeanNs  int64  `json:"mean_ns"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Ranks   int    `json:"ranks"`
+}
+
+// Profile is the analyzed form of a trace.
+type Profile struct {
+	MakespanNs   int64           `json:"makespan_ns"`
+	Spans        int             `json:"spans"`
+	MsgEdges     int             `json:"msg_edges"`
+	StreamEdges  int             `json:"stream_edges"`
+	CritPath     CritPath        `json:"critical_path"`
+	Ranks        []RankBreakdown `json:"ranks"`
+	Imbalance    []Imbalance     `json:"imbalance"`
+	Sites        []Site          `json:"sites"`
+	SitesOmitted int             `json:"sites_omitted,omitempty"`
+}
+
+// segment is one flattened, non-overlapping piece of a lane timeline.
+// Overlapping spans (a collective enclosing its combine computes, a unified
+// queue MPI operation spanning kernels) resolve innermost-wins: at every
+// instant the covering span with the latest start (then highest ID) owns it.
+type segment struct {
+	start, end sim.Time
+	span       *Span
+}
+
+// rankLanes is one rank's flattened host and device timelines.
+type rankLanes struct {
+	node     int
+	host     []segment
+	dev      []segment
+	lastSeen sim.Time // max span end on any lane
+}
+
+// Analyze computes the full profile of a trace. The result is a pure
+// function of the trace — deterministic, no clocks, no maps iterated
+// unsorted.
+func Analyze(t Trace, topSites int) *Profile {
+	p := &Profile{
+		MakespanNs: int64(t.Makespan),
+		Spans:      len(t.Spans),
+		CritPath:   CritPath{ByKindNs: map[string]int64{}, EndRank: -1},
+	}
+	byID := make(map[uint64]*Span, len(t.Spans))
+	for i := range t.Spans {
+		byID[t.Spans[i].ID] = &t.Spans[i]
+	}
+	// Incoming message edges per destination span.
+	msgIn := map[uint64][]Edge{}
+	for _, e := range t.Edges {
+		if e.Kind == "msg" {
+			p.MsgEdges++
+			msgIn[e.To] = append(msgIn[e.To], e)
+		} else {
+			p.StreamEdges++
+		}
+	}
+	lanes := flattenRanks(t.Spans)
+	ranks := make([]int, 0, len(lanes))
+	for r := range lanes {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	p.criticalPath(lanes, ranks, byID, msgIn, t.Makespan)
+	p.breakdowns(lanes, ranks, t.Makespan)
+	p.sites(t.Spans, topSites)
+	return p
+}
+
+// flattenRanks partitions every rank's host and device lanes into
+// non-overlapping segments.
+func flattenRanks(spans []Span) map[int]*rankLanes {
+	type laneSpans struct{ host, dev []*Span }
+	perRank := map[int]*laneSpans{}
+	nodes := map[int]int{}
+	last := map[int]sim.Time{}
+	for i := range spans {
+		s := &spans[i]
+		ls := perRank[s.Rank]
+		if ls == nil {
+			ls = &laneSpans{}
+			perRank[s.Rank] = ls
+		}
+		if s.Stream < 0 {
+			ls.host = append(ls.host, s)
+		} else {
+			ls.dev = append(ls.dev, s)
+		}
+		nodes[s.Rank] = s.Node
+		if s.End > last[s.Rank] {
+			last[s.Rank] = s.End
+		}
+	}
+	out := make(map[int]*rankLanes, len(perRank))
+	for r, ls := range perRank {
+		out[r] = &rankLanes{
+			node:     nodes[r],
+			host:     flatten(ls.host),
+			dev:      flatten(ls.dev),
+			lastSeen: last[r],
+		}
+	}
+	return out
+}
+
+// flatten sweeps one lane's spans into sorted non-overlapping segments,
+// innermost span (latest start, then highest ID) winning each instant.
+func flatten(spans []*Span) []segment {
+	live := spans[:0:0]
+	for _, s := range spans {
+		if s.End > s.Start {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].Start != live[j].Start {
+			return live[i].Start < live[j].Start
+		}
+		return live[i].ID < live[j].ID
+	})
+	bounds := make([]sim.Time, 0, 2*len(live))
+	for _, s := range live {
+		bounds = append(bounds, s.Start, s.End)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	var segs []segment
+	var active []*Span
+	next := 0
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]
+		if hi == lo {
+			continue
+		}
+		for next < len(live) && live[next].Start <= lo {
+			active = append(active, live[next])
+			next++
+		}
+		var win *Span
+		kept := active[:0]
+		for _, s := range active {
+			if s.End <= lo {
+				continue // expired
+			}
+			kept = append(kept, s)
+			if win == nil || s.Start > win.Start || (s.Start == win.Start && s.ID > win.ID) {
+				win = s
+			}
+		}
+		active = kept
+		if win == nil {
+			continue // gap between spans
+		}
+		if n := len(segs); n > 0 && segs[n-1].span == win && segs[n-1].end == lo {
+			segs[n-1].end = hi
+		} else {
+			segs = append(segs, segment{start: lo, end: hi, span: win})
+		}
+	}
+	return segs
+}
+
+// covering returns the segment with start < at <= end, or nil; segments are
+// sorted and disjoint.
+func covering(segs []segment, at sim.Time) *segment {
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].start >= at })
+	if i == 0 {
+		return nil
+	}
+	if s := &segs[i-1]; s.end >= at {
+		return s
+	}
+	return nil
+}
+
+// gapBelow returns the largest segment end <= at (0 when none): the resume
+// point after attributing an idle gap.
+func gapBelow(segs []segment, at sim.Time) sim.Time {
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].start >= at })
+	for i--; i >= 0; i-- {
+		if segs[i].end <= at {
+			return segs[i].end
+		}
+	}
+	return 0
+}
+
+// criticalPath walks the timeline backward from the finish of the run,
+// attributing every interval of [0, makespan] to exactly one kind. Blocking
+// MPI intervals follow their binding message edge: the portion after the
+// sender posted is transfer cost ("mpi"); if the send was posted mid-wait,
+// the walk jumps to the sender's timeline at the posting instant — the
+// classic wait = imbalance + transfer decomposition. Host accwait intervals
+// are projected onto the rank's device lanes, splitting them into kernel,
+// copy, and queued-MPI time plus residual synchronization overhead.
+func (p *Profile) criticalPath(lanes map[int]*rankLanes, ranks []int, byID map[uint64]*Span, msgIn map[uint64][]Edge, makespan sim.Time) {
+	byKind := p.CritPath.ByKindNs
+	if len(ranks) == 0 || makespan <= 0 {
+		if makespan > 0 {
+			byKind["other"] = int64(makespan)
+		}
+		return
+	}
+	rank := ranks[0]
+	for _, r := range ranks {
+		if lanes[r].lastSeen > lanes[rank].lastSeen {
+			rank = r
+		}
+	}
+	p.CritPath.EndRank = rank
+	T := makespan
+	maxSteps := 4*len(byID) + 64
+	for T > 0 {
+		if p.CritPath.Steps >= maxSteps {
+			byKind["other"] += int64(T) // runaway guard; keeps the sum exact
+			break
+		}
+		p.CritPath.Steps++
+		ln := lanes[rank]
+		seg := covering(ln.host, T)
+		if seg == nil {
+			lo := gapBelow(ln.host, T)
+			byKind["other"] += int64(T - lo)
+			T = lo
+			continue
+		}
+		switch seg.span.Kind {
+		case "mpi":
+			if e, sender, ok := bindingEdge(msgIn[seg.span.ID], byID, seg.start, T); ok {
+				byKind["mpi"] += int64(T - e.Post)
+				T = e.Post
+				rank = sender
+				p.CritPath.Hops++
+				continue
+			}
+			byKind["mpi"] += int64(T - seg.start)
+			T = seg.start
+		case "accwait":
+			project(ln.dev, seg.start, T, byKind)
+			T = seg.start
+		default:
+			byKind[seg.span.Kind] += int64(T - seg.start)
+			T = seg.start
+		}
+	}
+}
+
+// bindingEdge selects the message edge that bounds a blocking MPI interval:
+// the last-arriving match (max At, then max Post, then min From), accepted
+// only when the sender posted strictly inside (lo, hi) — otherwise the
+// interval is pure transfer/handler cost and the walk stays on this rank.
+func bindingEdge(edges []Edge, byID map[uint64]*Span, lo, hi sim.Time) (Edge, int, bool) {
+	var best Edge
+	found := false
+	for _, e := range edges {
+		if _, ok := byID[e.From]; !ok {
+			continue
+		}
+		if !found || e.At > best.At ||
+			(e.At == best.At && (e.Post > best.Post || (e.Post == best.Post && e.From < best.From))) {
+			best, found = e, true
+		}
+	}
+	if !found || best.Post <= lo || best.Post >= hi {
+		return Edge{}, 0, false
+	}
+	return best, byID[best.From].Rank, true
+}
+
+// project attributes the host interval (lo, hi] of an accwait span using
+// the rank's device-lane segments: covered sub-intervals take the device
+// activity's kind, the residue stays "accwait".
+func project(dev []segment, lo, hi sim.Time, byKind map[string]int64) {
+	covered := int64(0)
+	i := sort.Search(len(dev), func(i int) bool { return dev[i].end > lo })
+	for ; i < len(dev) && dev[i].start < hi; i++ {
+		s, e := dev[i].start, dev[i].end
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			byKind[dev[i].span.Kind] += int64(e - s)
+			covered += int64(e - s)
+		}
+	}
+	byKind["accwait"] += int64(hi-lo) - covered
+}
+
+// breakdowns fills the per-rank tables and the cross-rank imbalance stats.
+func (p *Profile) breakdowns(lanes map[int]*rankLanes, ranks []int, makespan sim.Time) {
+	combined := map[string][]int64{} // kind -> per-rank host+dev ns
+	addVal := func(kind string, idx int, v int64) {
+		vs := combined[kind]
+		if vs == nil {
+			vs = make([]int64, len(ranks))
+			combined[kind] = vs
+		}
+		vs[idx] += v
+	}
+	for i, r := range ranks {
+		ln := lanes[r]
+		rb := RankBreakdown{Rank: r, Node: ln.node, HostNs: map[string]int64{}}
+		var busy int64
+		for _, s := range ln.host {
+			d := int64(s.end - s.start)
+			rb.HostNs[s.span.Kind] += d
+			busy += d
+		}
+		if gap := int64(makespan) - busy; gap > 0 {
+			rb.HostNs["other"] = gap
+		}
+		if len(ln.dev) > 0 {
+			rb.DeviceNs = map[string]int64{}
+			for _, s := range ln.dev {
+				rb.DeviceNs[s.span.Kind] += int64(s.end - s.start)
+			}
+		}
+		for k, v := range rb.HostNs {
+			addVal(k, i, v)
+		}
+		for k, v := range rb.DeviceNs {
+			addVal(k, i, v)
+		}
+		p.Ranks = append(p.Ranks, rb)
+	}
+	kinds := make([]string, 0, len(combined))
+	for k := range combined {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		p.Imbalance = append(p.Imbalance, imbalanceOf(k, combined[k]))
+	}
+}
+
+// imbalanceOf computes distribution statistics over per-rank values.
+func imbalanceOf(kind string, vs []int64) Imbalance {
+	im := Imbalance{Kind: kind, MinNs: vs[0]}
+	var sum int64
+	for _, v := range vs {
+		sum += v
+		if v > im.MaxNs {
+			im.MaxNs = v
+		}
+		if v < im.MinNs {
+			im.MinNs = v
+		}
+	}
+	im.MeanNs = sum / int64(len(vs))
+	var varSum float64
+	for _, v := range vs {
+		d := float64(v - im.MeanNs)
+		varSum += d * d
+	}
+	im.StddevNs = int64(isqrt(varSum / float64(len(vs))))
+	if im.MeanNs > 0 {
+		im.MaxOverMean = float64(im.MaxNs) / float64(im.MeanNs)
+	}
+	return im
+}
+
+// isqrt is a float sqrt via Newton iterations — enough precision for a
+// nanosecond stddev without importing math.
+func isqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 64; i++ {
+		ng := (g + x/g) / 2
+		if ng == g {
+			break
+		}
+		g = ng
+	}
+	return g
+}
+
+// sites builds the mpiP-style top-N aggregate table per (kind, name).
+func (p *Profile) sites(spans []Span, topN int) {
+	type acc struct {
+		site  Site
+		ranks map[int]struct{}
+	}
+	byKey := map[[2]string]*acc{}
+	for i := range spans {
+		s := &spans[i]
+		k := [2]string{s.Kind, s.Name}
+		a := byKey[k]
+		if a == nil {
+			a = &acc{site: Site{Kind: s.Kind, Name: s.Name}, ranks: map[int]struct{}{}}
+			byKey[k] = a
+		}
+		d := int64(s.End - s.Start)
+		a.site.Count++
+		a.site.TotalNs += d
+		if d > a.site.MaxNs {
+			a.site.MaxNs = d
+		}
+		a.site.Bytes += s.Bytes
+		a.ranks[s.Rank] = struct{}{}
+	}
+	all := make([]Site, 0, len(byKey))
+	for _, a := range byKey {
+		a.site.Ranks = len(a.ranks)
+		if a.site.Count > 0 {
+			a.site.MeanNs = a.site.TotalNs / a.site.Count
+		}
+		all = append(all, a.site)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].TotalNs != all[j].TotalNs {
+			return all[i].TotalNs > all[j].TotalNs
+		}
+		if all[i].Kind != all[j].Kind {
+			return all[i].Kind < all[j].Kind
+		}
+		return all[i].Name < all[j].Name
+	})
+	if topN > 0 && len(all) > topN {
+		p.SitesOmitted = len(all) - topN
+		all = all[:topN]
+	}
+	p.Sites = all
+}

@@ -1,0 +1,163 @@
+package prof
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"impacc/internal/sim"
+)
+
+// span is a test shorthand.
+func span(id uint64, rank, stream int, kind, name string, start, end int64) Span {
+	return Span{ID: id, Rank: rank, Stream: stream, Kind: kind, Name: name,
+		Start: sim.Time(start), End: sim.Time(end), Peer: -1}
+}
+
+func kindSum(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TestFlattenInnermostWins(t *testing.T) {
+	outer := span(1, 0, -1, "mpi", "bcast", 0, 100)
+	inner := span(2, 0, -1, "compute", "combine", 20, 50)
+	segs := flatten([]*Span{&outer, &inner})
+	want := []struct {
+		lo, hi int64
+		id     uint64
+	}{{0, 20, 1}, {20, 50, 2}, {50, 100, 1}}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d: %+v", len(segs), len(want), segs)
+	}
+	for i, w := range want {
+		if int64(segs[i].start) != w.lo || int64(segs[i].end) != w.hi || segs[i].span.ID != w.id {
+			t.Errorf("segment %d = (%d,%d,id%d), want (%d,%d,id%d)",
+				i, segs[i].start, segs[i].end, segs[i].span.ID, w.lo, w.hi, w.id)
+		}
+	}
+}
+
+func TestCriticalPathFollowsMessageEdge(t *testing.T) {
+	tr := Trace{
+		Makespan: 150,
+		Spans: []Span{
+			span(1, 0, -1, "compute", "host", 0, 100),
+			span(2, 0, -1, "mpi", "send", 100, 120),
+			span(3, 1, -1, "compute", "host", 0, 40),
+			span(4, 1, -1, "mpi", "recv", 40, 140),
+		},
+		Edges: []Edge{{Kind: "msg", From: 2, To: 4, Post: 100, At: 130, Bytes: 1 << 20}},
+	}
+	p := Analyze(tr, DefaultTopSites)
+	if got := kindSum(p.CritPath.ByKindNs); got != p.MakespanNs {
+		t.Fatalf("critical path sums to %d, want makespan %d (%v)", got, p.MakespanNs, p.CritPath.ByKindNs)
+	}
+	if p.CritPath.EndRank != 1 || p.CritPath.Hops != 1 {
+		t.Errorf("end rank %d hops %d, want 1/1", p.CritPath.EndRank, p.CritPath.Hops)
+	}
+	// Walk: 10ns trailing idle on rank 1, 40ns transfer (wait after the send
+	// posted), then rank 0's 100ns compute that caused the late post.
+	want := map[string]int64{"other": 10, "mpi": 40, "compute": 100}
+	if !reflect.DeepEqual(p.CritPath.ByKindNs, want) {
+		t.Errorf("attribution %v, want %v", p.CritPath.ByKindNs, want)
+	}
+}
+
+func TestCriticalPathProjectsAccWait(t *testing.T) {
+	tr := Trace{
+		Makespan: 100,
+		Spans: []Span{
+			span(1, 0, -1, "accwait", "wait", 0, 100),
+			span(2, 0, 0, "kernel", "stencil", 10, 60),
+			span(3, 0, 0, "copy", "DtoH", 70, 80),
+		},
+	}
+	p := Analyze(tr, DefaultTopSites)
+	want := map[string]int64{"kernel": 50, "copy": 10, "accwait": 40}
+	if !reflect.DeepEqual(p.CritPath.ByKindNs, want) {
+		t.Errorf("attribution %v, want %v", p.CritPath.ByKindNs, want)
+	}
+	if got := kindSum(p.CritPath.ByKindNs); got != p.MakespanNs {
+		t.Fatalf("critical path sums to %d, want %d", got, p.MakespanNs)
+	}
+}
+
+func TestBreakdownsAndImbalance(t *testing.T) {
+	tr := Trace{
+		Makespan: 150,
+		Spans: []Span{
+			span(1, 0, -1, "compute", "host", 0, 100),
+			span(2, 1, -1, "compute", "host", 0, 40),
+		},
+	}
+	p := Analyze(tr, DefaultTopSites)
+	if len(p.Ranks) != 2 {
+		t.Fatalf("got %d rank breakdowns", len(p.Ranks))
+	}
+	if p.Ranks[0].HostNs["compute"] != 100 || p.Ranks[0].HostNs["other"] != 50 {
+		t.Errorf("rank 0 breakdown %v", p.Ranks[0].HostNs)
+	}
+	var comp *Imbalance
+	for i := range p.Imbalance {
+		if p.Imbalance[i].Kind == "compute" {
+			comp = &p.Imbalance[i]
+		}
+	}
+	if comp == nil {
+		t.Fatal("no compute imbalance row")
+	}
+	if comp.MaxNs != 100 || comp.MinNs != 40 || comp.MeanNs != 70 {
+		t.Errorf("compute imbalance %+v", comp)
+	}
+	// stddev of {100, 40} about mean 70 is 30.
+	if comp.StddevNs != 30 {
+		t.Errorf("stddev %d, want 30", comp.StddevNs)
+	}
+}
+
+func TestSitesTopNTruncation(t *testing.T) {
+	tr := Trace{Makespan: 30, Spans: []Span{
+		span(1, 0, -1, "compute", "a", 0, 10),
+		span(2, 0, -1, "compute", "b", 10, 15),
+		span(3, 0, -1, "mpi", "send", 15, 30),
+	}}
+	p := Analyze(tr, 2)
+	if len(p.Sites) != 2 || p.SitesOmitted != 1 {
+		t.Fatalf("sites %d omitted %d, want 2/1", len(p.Sites), p.SitesOmitted)
+	}
+	if p.Sites[0].Kind != "mpi" || p.Sites[0].TotalNs != 15 {
+		t.Errorf("top site %+v", p.Sites[0])
+	}
+}
+
+func TestAggregateOrderIndependent(t *testing.T) {
+	mk := func(name string, total int64) *Profile {
+		return &Profile{
+			MakespanNs: total,
+			CritPath:   CritPath{ByKindNs: map[string]int64{"compute": total}},
+			Sites:      []Site{{Kind: "compute", Name: name, Count: 1, TotalNs: total, MaxNs: total, Ranks: 1}},
+		}
+	}
+	ps := []*Profile{mk("a", 100), mk("b", 50), mk("c", 200)}
+	fwd, rev := NewAggregate(), NewAggregate()
+	for _, p := range ps {
+		fwd.Add(p)
+	}
+	for i := len(ps) - 1; i >= 0; i-- {
+		rev.Add(ps[i])
+	}
+	var b1, b2 bytes.Buffer
+	if err := fwd.Snapshot(10).WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.Snapshot(10).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("aggregate snapshots differ by add order:\n%s\n%s", b1.String(), b2.String())
+	}
+}

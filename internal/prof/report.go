@@ -1,0 +1,117 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"impacc/internal/sim"
+)
+
+// WriteJSON renders the profile as an indented JSON document. Map keys are
+// emitted sorted by encoding/json, so the bytes are deterministic.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// SortedKinds returns the attribution kinds ordered by descending time,
+// name ascending on ties.
+func (c *CritPath) SortedKinds() []string { return sortedKinds(c.ByKindNs) }
+
+// sortedKinds returns map keys ordered by descending value, name ascending
+// on ties — the display order of every by-kind table.
+func sortedKinds(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if m[ks[i]] != m[ks[j]] {
+			return m[ks[i]] > m[ks[j]]
+		}
+		return ks[i] < ks[j]
+	})
+	return ks
+}
+
+func pct(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteText renders the mpiP-style human-readable report.
+func (p *Profile) WriteText(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("IMPACC profile report\n")
+	pf("  makespan %v   spans %d   msg edges %d   stream edges %d\n\n",
+		sim.Dur(p.MakespanNs), p.Spans, p.MsgEdges, p.StreamEdges)
+
+	pf("Critical path (ends on rank %d, %d steps, %d rank hops):\n",
+		p.CritPath.EndRank, p.CritPath.Steps, p.CritPath.Hops)
+	for _, k := range sortedKinds(p.CritPath.ByKindNs) {
+		v := p.CritPath.ByKindNs[k]
+		pf("  %-8s %12v  %5.1f%%\n", k, sim.Dur(v), pct(v, p.MakespanNs))
+	}
+	pf("\nPer-rank host time:\n")
+	pf("  %-5s %-5s", "rank", "node")
+	kindSet := map[string]struct{}{}
+	for _, rb := range p.Ranks {
+		for k := range rb.HostNs {
+			kindSet[k] = struct{}{}
+		}
+	}
+	kinds := make([]string, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		pf(" %12s", k)
+	}
+	pf("\n")
+	for _, rb := range p.Ranks {
+		pf("  %-5d %-5d", rb.Rank, rb.Node)
+		for _, k := range kinds {
+			pf(" %12v", sim.Dur(rb.HostNs[k]))
+		}
+		pf("\n")
+	}
+	if len(p.Imbalance) > 0 {
+		pf("\nLoad imbalance (host+device per kind across ranks):\n")
+		pf("  %-8s %12s %12s %12s %12s %8s\n", "kind", "max", "min", "mean", "stddev", "max/mean")
+		for _, im := range p.Imbalance {
+			pf("  %-8s %12v %12v %12v %12v %8.2f\n", im.Kind,
+				sim.Dur(im.MaxNs), sim.Dur(im.MinNs), sim.Dur(im.MeanNs),
+				sim.Dur(im.StddevNs), im.MaxOverMean)
+		}
+	}
+	if len(p.Sites) > 0 {
+		pf("\nTop sites by total time:\n")
+		writeSiteTable(pf, p.Sites, p.MakespanNs)
+		if p.SitesOmitted > 0 {
+			pf("  ... %d more sites omitted\n", p.SitesOmitted)
+		}
+	}
+	return err
+}
+
+// writeSiteTable renders the shared (kind,name) aggregate table.
+func writeSiteTable(pf func(string, ...any), sites []Site, whole int64) {
+	pf("  %-8s %-14s %8s %12s %12s %12s %6s %14s\n",
+		"kind", "name", "count", "total", "mean", "max", "ranks", "bytes")
+	for _, s := range sites {
+		pf("  %-8s %-14s %8d %12v %12v %12v %6d %14d\n",
+			s.Kind, s.Name, s.Count, sim.Dur(s.TotalNs), sim.Dur(s.MeanNs),
+			sim.Dur(s.MaxNs), s.Ranks, s.Bytes)
+	}
+}
