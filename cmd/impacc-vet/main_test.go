@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"walltime", "globalrand", "maporder", "parkdiscipline", "spanbalance"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestTreeClean is the gate itself: the whole module must vet clean. A
+// deliberately reintroduced time.Now() in internal/sim (or anywhere else)
+// fails this test and therefore CI.
+func TestTreeClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-json", "-", "impacc/..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("impacc-vet impacc/... exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	// The findings block is the tail of stdout (after zero finding lines).
+	var report struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out.String())
+	}
+	if len(report.Findings) != 0 {
+		t.Fatalf("clean run reported findings: %s", out.String())
+	}
+}
+
+// TestBadFixtureFails proves the gate actually bites: the fixture under
+// testdata/bad violates walltime, globalrand, and maporder, and the run
+// must exit non-zero with one finding per violation.
+func TestBadFixtureFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-json", "-", "./testdata/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("expected exit 1 on bad fixture, got %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	for _, want := range []string{"walltime", "globalrand", "maporder", "time.Now", "rand.Intn", "append inside map iteration"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("findings missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestJSONArtifact checks the CI artifact file path: findings are written
+// as structured JSON with repo-relative file paths.
+func TestJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-json", path, "./testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("expected exit 1, got %d (stderr: %s)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bad JSON artifact: %v\n%s", err, data)
+	}
+	if len(report.Findings) < 3 {
+		t.Fatalf("expected >= 3 findings in artifact, got %d", len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("artifact file path should be repo-relative, got %q", f.File)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package bad is a fixture with deliberate invariant violations. It lives
+// under testdata/ so wildcard patterns (./..., impacc/...) never match it;
+// the impacc-vet tests load it explicitly to prove the gate fails loudly.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock smuggles wall-clock time into what pretends to be sim state.
+func Clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pick draws from the process-global generator.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Keys leaks map iteration order into a slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: named Analyzers run over
+// type-checked packages and report position-tagged Diagnostics.
+//
+// The toolchain ships no x/tools in this environment, so the framework is
+// built directly on the standard library: packages are discovered with
+// `go list -json -deps` and type-checked with go/types (see load.go).
+// The API mirrors x/tools closely enough that the passes under
+// internal/analysis/... would port to the real multichecker by swapping
+// imports.
+//
+// Suppression: a diagnostic from analyzer NAME at some line is suppressed
+// by a comment
+//
+//	//impacc:allow-NAME <reason>
+//
+// on the same line or on the line immediately above the flagged position.
+// The reason is mandatory; an annotation without one never suppresses
+// anything and is itself reported by the driver (see run.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //impacc:allow-<Name> suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, tagged with the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags  []Diagnostic
+	allows allowIndex
+}
+
+// Reportf records a diagnostic at pos unless an //impacc:allow-<analyzer>
+// annotation (with a reason) covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allows.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant p.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ImportedPkg resolves an identifier used as a package qualifier (the "time"
+// in time.Now) to the imported package's path, or "" if x is not a package
+// name.
+func (p *Pass) ImportedPkg(x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// allowRe matches the suppression annotation body (after comment markers
+// are stripped): marker name, then a free-form reason. The reason group is
+// empty for a bare annotation. Both //-style and /* */-style comments are
+// recognized.
+var allowRe = regexp.MustCompile(`^impacc:allow-([a-z]+)\s*(.*)$`)
+
+// commentBody strips the comment markers off a raw comment.
+func commentBody(text string) string {
+	if strings.HasPrefix(text, "//") {
+		return text[2:]
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+}
+
+// allowSite is one parsed //impacc:allow-* comment.
+type allowSite struct {
+	Name   string
+	Reason string
+	Pos    token.Position
+}
+
+// allowIndex maps (analyzer, file, line) to a suppression annotation.
+type allowIndex map[string]map[int]bool
+
+func allowKey(name, file string) string { return name + "\x00" + file }
+
+// covers reports whether an annotation for analyzer name exists on the
+// diagnostic's line or the line above it.
+func (ai allowIndex) covers(name string, pos token.Position) bool {
+	lines := ai[allowKey(name, pos.Filename)]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// buildAllowIndex scans every comment in the files for suppression
+// annotations. Annotations with an empty reason are returned separately
+// (they do not suppress) so the driver can report them.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []allowSite) {
+	idx := allowIndex{}
+	var bad []allowSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(commentBody(c.Text))
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				site := allowSite{Name: m[1], Reason: strings.TrimSpace(m[2]), Pos: pos}
+				if site.Reason == "" {
+					bad = append(bad, site)
+					continue
+				}
+				key := allowKey(site.Name, pos.Filename)
+				if idx[key] == nil {
+					idx[key] = map[int]bool{}
+				}
+				idx[key][pos.Line] = true
+			}
+		}
+	}
+	return idx, bad
+}

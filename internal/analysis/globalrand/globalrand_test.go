@@ -1,0 +1,13 @@
+package globalrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, globalrand.Analyzer, filepath.Join("testdata", "a"))
+}

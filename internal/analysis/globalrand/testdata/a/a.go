@@ -1,0 +1,41 @@
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"impacc/internal/sim"
+)
+
+// bad exercises the forbidden generators.
+func bad() {
+	_ = rand.Intn(10)                // want `math/rand\.Intn is process-global`
+	_ = rand.Float64()               // want `math/rand\.Float64 is process-global`
+	rand.Shuffle(3, func(i, j int) { // want `math/rand\.Shuffle is process-global`
+	})
+	r := rand.New(rand.NewSource(1)) // want `math/rand\.New is process-global` `math/rand\.NewSource is process-global`
+	_ = r
+	_ = randv2.IntN(4) // want `math/rand/v2\.IntN is process-global`
+	b := make([]byte, 8)
+	_, _ = crand.Read(b) // want `crypto/rand\.Read is process-global`
+	_ = crand.Reader     // want `crypto/rand\.Reader is process-global`
+}
+
+// typeOnlyOK: naming math/rand types in signatures is harmless; only
+// function and variable uses are randomness.
+func typeOnlyOK(r *rand.Rand) int {
+	return r.Intn(3)
+}
+
+// seededOK is the required pattern: explicitly seeded sim streams.
+func seededOK(seed uint64) float64 {
+	rng := sim.NewRNG(seed)
+	task := rng.Fork()
+	return task.Float64()
+}
+
+// annotated is the reasoned escape hatch.
+func annotated() int {
+	return rand.Intn(2) //impacc:allow-globalrand test-only helper outside any simulation path
+}

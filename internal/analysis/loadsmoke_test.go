@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	l := NewLoader()
+	pkgs, err := l.Load("impacc/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types == nil || pkgs[0].Info == nil {
+		t.Fatalf("bad load: %+v", pkgs)
+	}
+	if len(pkgs[0].TypeErrs) > 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrs)
+	}
+}

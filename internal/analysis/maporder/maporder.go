@@ -1,0 +1,223 @@
+// Package maporder flags `for range` loops over maps whose bodies have
+// order-dependent effects.
+//
+// Go randomizes map iteration order per run; any map-range body that
+// appends to a slice, writes formatted output, or records into a tracer
+// sink threads that randomness straight into artifacts the project promises
+// are byte-identical across runs (reports, golden traces, serial-vs-`-j 8`
+// sweep output).
+//
+// Recognized escape routes, in order of preference:
+//   - collect the keys, sort them, and range over the sorted slice;
+//   - append into a slice that is demonstrably sorted later in the same
+//     function (the collect-then-sort idiom is detected and allowed);
+//   - feed only commutative sinks (telemetry Merge/Aggregate/Add/Inc/
+//     Observe), which are order-insensitive by construction;
+//   - annotate //impacc:allow-maporder <reason> for the rare site where
+//     order provably cannot matter.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"impacc/internal/analysis"
+)
+
+// Analyzer implements the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body appends to slices, formats output, or " +
+		"writes to order-sensitive sinks without sorting keys first",
+	Run: run,
+}
+
+// orderSensitiveMethods are method names that serialize their arguments in
+// call order: stream writers, printers, and the tracer/telemetry recording
+// entry points.
+var orderSensitiveMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Record": true, "record": true, "Span": true, "Edge": true,
+	"msgEdge": true, "depEdge": true, "Emit": true, "Log": true,
+}
+
+// commutativeMethods never order-matter: value-merging telemetry
+// operations. They are exempt even though some (Add, Observe) mutate
+// shared state, because addition and histogram insertion commute.
+var commutativeMethods = map[string]bool{
+	"Merge": true, "Aggregate": true, "Add": true, "Inc": true, "Observe": true,
+}
+
+// fmtPrinters are fmt package-level functions that emit directly.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc inspects one function body: it indexes which slice objects are
+// sorted (and where), then audits every map-range inside.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorted := sortedObjects(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapType(pass.TypeOf(rng.X)) {
+			return true
+		}
+		checkMapRange(pass, rng, sorted)
+		return true
+	})
+}
+
+// sortedObjects returns, for every slice variable passed to a sort call in
+// body, the positions of those sort calls. sort.Strings(keys) after the
+// collect loop legitimizes appending to keys inside it.
+func sortedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object][]token.Pos {
+	out := map[types.Object][]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pass.ImportedPkg(sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					out[obj] = append(out[obj], call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange audits the body of one map-range for order-dependent
+// effects. It does not descend into nested map-ranges (each is audited on
+// its own) but does follow every other statement, including closures.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[types.Object][]token.Pos) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass.TypeOf(s.X)) {
+				return false // audited independently
+			}
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(),
+				"channel send inside map iteration publishes values in random map order; sort the keys first or annotate //impacc:allow-maporder <reason>")
+		case *ast.AssignStmt:
+			checkAppend(pass, rng, s, sorted)
+		case *ast.CallExpr:
+			checkCall(pass, s)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `x = append(x, ...)` in a map-range unless x is sorted
+// later in the enclosing function (after the loop ends).
+func checkAppend(pass *analysis.Pass, rng *ast.RangeStmt, s *ast.AssignStmt, sorted map[types.Object][]token.Pos) {
+	for i, rhs := range s.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if obj := pass.Info.Uses[fn]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				continue // shadowed append
+			}
+		}
+		if i < len(s.Lhs) {
+			if id, ok := s.Lhs[i].(*ast.Ident); ok {
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					obj = pass.Info.Defs[id]
+				}
+				if obj != nil && sortedAfter(sorted[obj], rng.End()) {
+					continue // collect-then-sort idiom
+				}
+			}
+		}
+		pass.Reportf(s.Pos(),
+			"append inside map iteration accumulates in random map order; sort the keys first, sort the slice after the loop, or annotate //impacc:allow-maporder <reason>")
+	}
+}
+
+func sortedAfter(positions []token.Pos, end token.Pos) bool {
+	for _, p := range positions {
+		if p > end {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags order-sensitive output and sink calls in a map-range
+// body: fmt printers and stream/tracer write methods. Commutative
+// telemetry merges are exempt.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if pkg := pass.ImportedPkg(sel.X); pkg != "" {
+		if pkg == "fmt" && fmtPrinters[name] {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside map iteration emits output in random map order; sort the keys first or annotate //impacc:allow-maporder <reason>", name)
+		}
+		return
+	}
+	if commutativeMethods[name] {
+		return
+	}
+	if orderSensitiveMethods[name] {
+		pass.Reportf(call.Pos(),
+			"%s call inside map iteration feeds an order-sensitive sink in random map order; sort the keys first or annotate //impacc:allow-maporder <reason>", name)
+	}
+}

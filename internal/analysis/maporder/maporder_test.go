@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,132 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// badAppend accumulates in map order and never sorts: the classic
+// nondeterminism leak.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration`
+	}
+	return keys
+}
+
+// goodCollectSort is the sanctioned idiom: collect, then sort after the
+// loop.
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice covers the comparator form of the idiom.
+func goodSortSlice(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// badPrint formats output straight from the iteration.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration`
+	}
+}
+
+// goodSortedKeys ranges over a sorted slice, not the map.
+func goodSortedKeys(m map[string]int) {
+	for _, k := range goodCollectSort(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// goodMapBuild: writing another map is order-insensitive.
+func goodMapBuild(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// goodReduce: commutative accumulation does not depend on order.
+func goodReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type sink struct{}
+
+func (sink) Add(int64)                     {}
+func (sink) Observe(int64)                 {}
+func (sink) Write(p []byte) (int, error)   { return len(p), nil }
+func (sink) Record(name string, v float64) {}
+
+// sinks: commutative telemetry merges are exempt; stream/tracer writes are
+// not.
+func sinks(m map[string]int, s sink) {
+	for _, v := range m {
+		s.Add(int64(v))     // commutative: ok
+		s.Observe(int64(v)) // commutative: ok
+	}
+	for _, v := range m {
+		_, _ = s.Write([]byte{byte(v)}) // want `Write call inside map iteration`
+	}
+	for k, v := range m {
+		s.Record(k, float64(v)) // want `Record call inside map iteration`
+	}
+}
+
+// badSend publishes in map order.
+func badSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+// nested: the inner map-range is audited on its own, not double-reported
+// through the outer loop — exactly one diagnostic lands on the append.
+func nested(m map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range m {
+		for k := range inner {
+			out = append(out, k) // want `append inside map iteration`
+		}
+	}
+	return out
+}
+
+// nestedSorted: the same shape is fine once the accumulated slice is
+// sorted after the loops.
+func nestedSorted(m map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range m {
+		for k := range inner {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// annotated is the reasoned escape hatch for a site where order provably
+// cannot matter.
+func annotated(m map[string]bool, ch chan string) {
+	for k := range m {
+		//impacc:allow-maporder consumer drains into a set; arrival order is immaterial
+		ch <- k
+	}
+}

@@ -1,0 +1,13 @@
+package parkdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/parkdiscipline"
+)
+
+func TestParkdiscipline(t *testing.T) {
+	analysistest.Run(t, parkdiscipline.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import "sort"
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics in (file, line, column, analyzer) order. Suppression
+// annotations are honored per analyzer; malformed annotations (no reason)
+// are reported under the pseudo-analyzer "allowform" so a bare
+// //impacc:allow-walltime can never silently disable a check.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.DepOnly || len(pkg.Files) == 0 {
+			continue
+		}
+		allows, bad := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, site := range bad {
+			diags = append(diags, Diagnostic{
+				Analyzer: "allowform",
+				Pos:      site.Pos,
+				Message: "impacc:allow-" + site.Name +
+					" annotation needs a reason (\"//impacc:allow-" + site.Name + " why it is safe\")",
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allows:   allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			diags = append(diags, pass.diags...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// Message tie-break: several findings can share one position (e.g.
+		// two spans leaking through the same return); the full sort keeps
+		// impacc-vet's own output deterministic.
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

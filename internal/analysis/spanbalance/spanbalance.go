@@ -1,0 +1,493 @@
+// Package spanbalance checks that every opened trace span is recorded on
+// every path out of its function.
+//
+// The prof package's critical-path accounting is integer-exact: per-kind
+// sums telescope to the makespan only because every span interval that is
+// started is eventually recorded exactly once. A span capture that escapes
+// through an early return silently turns traced time into untraceable
+// "other" time and breaks the telescoping invariant the golden tests pin.
+//
+// Two idioms open a span:
+//
+//	start := p.Now()          // startvar form: `start` later flows into a
+//	...                       // recording call (t.span, t.mpiSpan,
+//	t.span("compute", start)  // tr.record, sink.Span)
+//
+//	sp := tr.BeginX(...)      // begin form: any method named Begin* whose
+//	defer sp.End()            // result must reach an End on all paths
+//
+// The pass runs an abstract interpretation over the function's control
+// flow (if/else, for, range, switch, select merge semantics): at every
+// return and at fall-through, all opened spans must have been recorded or
+// closed by a defer. Paths that abort the run (panic, Task.fail/Fail,
+// Fatal, os.Exit) are exempt — an aborting run has no exactness to
+// protect. //impacc:allow-spanbalance <reason> suppresses a site.
+package spanbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"impacc/internal/analysis"
+)
+
+// Analyzer implements the spanbalance pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanbalance",
+	Doc: "require every trace span open (Begin*/captured start time flowing into a " +
+		"record call) to be closed/recorded on all control-flow paths",
+	Run: run,
+}
+
+// recordNames are the span-recording entry points: a call to one of these
+// with the start variable among its arguments closes that span.
+var recordNames = map[string]bool{
+	"span": true, "mpiSpan": true, "record": true, "Span": true,
+}
+
+// terminatorNames are selector calls that abort the run; paths ending in
+// them are exempt from balance.
+var terminatorNames = map[string]bool{
+	"fail": true, "failf": true, "Fail": true, "Failf": true,
+	"Fatal": true, "Fatalf": true, "Exit": true, "Goexit": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return false // nested funcs are found by the recursive walk below
+		})
+	}
+	return nil
+}
+
+// checkFunc runs the balance walk over one function body, then recurses
+// into nested function literals as independent functions.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &walker{
+		pass:      pass,
+		startVars: spanStartVars(pass, body),
+		deferred:  map[types.Object]bool{},
+		reported:  map[reportKey]bool{},
+	}
+	st := &state{open: map[types.Object]token.Pos{}}
+	w.stmts(body.List, st)
+	if !st.terminated {
+		w.checkExit(body.Rbrace, st)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// spanStartVars finds local variables that (a) are assigned from a .Now()
+// call somewhere in body and (b) flow into a recording call's arguments.
+// Only those captures count as span opens; a Now() used for plain
+// arithmetic (elapsed-time math) is not a span.
+func spanStartVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	recorded := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !recordNames[sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj, ok := pass.Info.Uses[id].(*types.Var); ok {
+						recorded[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if len(recorded) == 0 {
+		return nil
+	}
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if !isNowCall(rhs) || i >= len(assign.Lhs) {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil && recorded[obj] {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isNowCall matches x.Now() — the virtual-clock read that anchors a span.
+func isNowCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Now"
+}
+
+// state is the abstract value flowed through the walk: which span tokens
+// are open, and whether this path has already terminated.
+type state struct {
+	open       map[types.Object]token.Pos
+	terminated bool
+}
+
+func (s *state) clone() *state {
+	c := &state{open: make(map[types.Object]token.Pos, len(s.open)), terminated: s.terminated}
+	for k, v := range s.open {
+		c.open[k] = v
+	}
+	return c
+}
+
+// merge unions the open sets of live successor states into dst. A span
+// open on any live incoming path stays open.
+func merge(dst *state, branches ...*state) {
+	live := 0
+	for k := range dst.open {
+		delete(dst.open, k)
+	}
+	for _, b := range branches {
+		if b == nil || b.terminated {
+			continue
+		}
+		live++
+		for k, v := range b.open {
+			dst.open[k] = v
+		}
+	}
+	dst.terminated = live == 0
+}
+
+type reportKey struct {
+	open token.Pos
+	exit token.Pos
+}
+
+type walker struct {
+	pass      *analysis.Pass
+	startVars map[types.Object]bool
+	// deferred holds tokens closed by a registered defer; defers are
+	// function-scoped so the set only grows.
+	deferred map[types.Object]bool
+	reported map[reportKey]bool
+}
+
+// stmts walks a statement list, updating st in place.
+func (w *walker) stmts(list []ast.Stmt, st *state) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		w.stmt(s, st)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.scanSimple(s, st)
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) {
+				break
+			}
+			id, ok := s.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.pass.Info.Defs[id]
+			if obj == nil {
+				obj = w.pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if isNowCall(rhs) && w.startVars[obj] {
+				st.open[obj] = s.Pos()
+			} else if isBeginCall(rhs) {
+				st.open[obj] = s.Pos()
+			}
+		}
+	case *ast.ExprStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		w.scanSimple(s, st)
+	case *ast.DeferStmt:
+		w.scanDefer(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, st)
+		}
+		w.checkExit(s.Pos(), st)
+		st.terminated = true
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		then := st.clone()
+		w.stmts(s.Body.List, then)
+		var alt *state
+		if s.Else != nil {
+			alt = st.clone()
+			w.stmt(s.Else, alt)
+		} else {
+			alt = st.clone()
+		}
+		merge(st, then, alt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, st)
+		}
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		entry := st.clone()
+		merge(st, entry, body)
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// `for {}` with no break never falls through; exits inside
+			// the body were already checked during its walk.
+			st.terminated = true
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		body := st.clone()
+		w.stmts(s.Body.List, body)
+		entry := st.clone()
+		merge(st, entry, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, st)
+		}
+		w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		w.caseClauses(s.Body, st)
+	}
+}
+
+// caseClauses merges the bodies of switch/select clauses; without a
+// default clause the entry state joins the merge (no case may match).
+func (w *walker) caseClauses(body *ast.BlockStmt, st *state) {
+	var branches []*state
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		b := st.clone()
+		w.stmts(stmts, b)
+		branches = append(branches, b)
+	}
+	if !hasDefault {
+		branches = append(branches, st.clone())
+	}
+	merge(st, branches...)
+}
+
+// scanSimple processes closes and terminators inside one simple statement.
+func (w *walker) scanSimple(s ast.Stmt, st *state) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.applyCall(call, st)
+		}
+		return true
+	})
+}
+
+// scanExpr processes closes inside an expression (condition, return value).
+func (w *walker) scanExpr(e ast.Expr, st *state) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.applyCall(call, st)
+		}
+		return true
+	})
+}
+
+// applyCall interprets one call: closes spans it records, marks the path
+// terminated when it aborts the run.
+func (w *walker) applyCall(call *ast.CallExpr, st *state) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		st.terminated = true
+		for k := range st.open {
+			delete(st.open, k)
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if terminatorNames[sel.Sel.Name] {
+		st.terminated = true
+		for k := range st.open {
+			delete(st.open, k)
+		}
+		return
+	}
+	for _, obj := range w.closedBy(call) {
+		delete(st.open, obj)
+	}
+}
+
+// closedBy returns the span tokens a call closes: startvars among the
+// arguments of a record call, or the receiver of an End call.
+func (w *walker) closedBy(call *ast.CallExpr) []types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	if recordNames[sel.Sel.Name] {
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := w.pass.Info.Uses[id]; obj != nil && w.startVars[obj] {
+						out = append(out, obj)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if sel.Sel.Name == "End" {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// scanDefer records tokens closed by a deferred call (directly or inside
+// a deferred closure); those are closed on every later exit.
+func (w *walker) scanDefer(call *ast.CallExpr) {
+	for _, obj := range w.closedBy(call) {
+		w.deferred[obj] = true
+	}
+	ast.Inspect(call, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok && inner != call {
+			for _, obj := range w.closedBy(inner) {
+				w.deferred[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkExit reports every span still open (and not deferred-closed) at an
+// exit point.
+func (w *walker) checkExit(exit token.Pos, st *state) {
+	for obj, openPos := range st.open {
+		if w.deferred[obj] {
+			continue
+		}
+		key := reportKey{open: openPos, exit: exit}
+		if w.reported[key] {
+			continue
+		}
+		w.reported[key] = true
+		w.pass.Reportf(exit,
+			"path leaves trace span %q (opened at %s) unrecorded; record/End it on every path (telescoping exactness) or annotate //impacc:allow-spanbalance <reason>",
+			obj.Name(), w.pass.Fset.Position(openPos))
+	}
+}
+
+// isBeginCall matches x.Begin*(...) span constructors.
+func isBeginCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && strings.HasPrefix(sel.Sel.Name, "Begin")
+}
+
+// hasBreak reports whether a block contains a break that exits the
+// enclosing loop (nested loops' breaks do not count).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK {
+				found = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}

@@ -1,0 +1,13 @@
+package spanbalance_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/spanbalance"
+)
+
+func TestSpanbalance(t *testing.T) {
+	analysistest.Run(t, spanbalance.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,162 @@
+package a
+
+// Stub shapes mirroring the runtime's tracing idioms: a virtual clock with
+// Now(), record sinks named span/mpiSpan/record, and a Begin/End handle.
+
+type clock struct{}
+
+func (clock) Now() int64 { return 0 }
+
+type tracer struct{}
+
+func (tracer) span(kind string, start int64)        {}
+func (tracer) mpiSpan(name string, start int64) int { return 0 }
+func (tracer) record(start int64) uint64            { return 0 }
+
+type handle struct{}
+
+func (handle) End() {}
+
+type mk struct{}
+
+func (mk) BeginRegion(name string) handle { return handle{} }
+
+func work()         {}
+func mayFail() bool { return false }
+
+type task struct{}
+
+func (task) fail(err error) {}
+
+// good: the linear open-then-record shape.
+func good(c clock, tr tracer) {
+	start := c.Now()
+	work()
+	tr.span("compute", start)
+}
+
+// badEarlyReturn leaks the span through the early return.
+func badEarlyReturn(c clock, tr tracer, cond bool) {
+	start := c.Now()
+	if cond {
+		return // want `leaves trace span "start"`
+	}
+	tr.span("compute", start)
+}
+
+// goodBranches records on every path.
+func goodBranches(c clock, tr tracer, cond bool) {
+	start := c.Now()
+	if cond {
+		tr.span("a", start)
+		return
+	}
+	tr.span("b", start)
+}
+
+// goodDefer closes via defer, covering every exit.
+func goodDefer(c clock, tr tracer) {
+	start := c.Now()
+	defer tr.span("compute", start)
+	if mayFail() {
+		return
+	}
+	work()
+}
+
+// goodDeferClosure: a deferred closure recording the span also balances.
+func goodDeferClosure(c clock, tr tracer) {
+	start := c.Now()
+	defer func() {
+		tr.span("compute", start)
+	}()
+	if mayFail() {
+		return
+	}
+	work()
+}
+
+// goodPanicPath: aborting paths are exempt — an aborted run has no
+// telescoping exactness to protect.
+func goodPanicPath(c clock, tr tracer, cond bool) {
+	start := c.Now()
+	if cond {
+		panic("abort")
+	}
+	tr.span("x", start)
+}
+
+// goodFailPath: Task.fail-style aborts are exempt too.
+func goodFailPath(c clock, tr tracer, t task, cond bool) {
+	start := c.Now()
+	if cond {
+		t.fail(nil)
+		return
+	}
+	tr.mpiSpan("send", start)
+}
+
+// badFallthrough records only in one branch and falls off the end in the
+// other.
+func badFallthrough(c clock, tr tracer, cond bool) {
+	start := c.Now()
+	if cond {
+		tr.span("a", start)
+	}
+} // want `leaves trace span "start"`
+
+// badSwitch: one case forgets to record.
+func badSwitch(c clock, tr tracer, n int) {
+	start := c.Now()
+	switch n {
+	case 0:
+		tr.span("zero", start)
+	case 1:
+		return // want `leaves trace span "start"`
+	default:
+		tr.span("other", start)
+	}
+}
+
+// goodLoop opens and records within each iteration.
+func goodLoop(c clock, tr tracer, n int) {
+	for i := 0; i < n; i++ {
+		start := c.Now()
+		work()
+		tr.span("iter", start)
+	}
+}
+
+// elapsedOnly: a Now() capture that never feeds a record call is elapsed
+// arithmetic, not a span — no diagnostics.
+func elapsedOnly(c clock) int64 {
+	start := c.Now()
+	work()
+	return c.Now() - start
+}
+
+// badBegin: Begin/End form with a leaking early return.
+func badBegin(m mk, cond bool) {
+	h := m.BeginRegion("r")
+	if cond {
+		return // want `leaves trace span "h"`
+	}
+	h.End()
+}
+
+// goodBeginDefer is the canonical paired form.
+func goodBeginDefer(m mk) {
+	h := m.BeginRegion("r")
+	defer h.End()
+	work()
+}
+
+// annotated is the reasoned escape hatch.
+func annotated(c clock, tr tracer, cond bool) {
+	start := c.Now()
+	if cond {
+		//impacc:allow-spanbalance span intentionally dropped: tracing disabled on this path
+		return
+	}
+	tr.span("compute", start)
+}

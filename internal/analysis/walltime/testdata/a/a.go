@@ -1,0 +1,39 @@
+package a
+
+import (
+	"os"
+	"time"
+)
+
+// bad exercises every forbidden wall-clock and entropy read.
+func bad() {
+	_ = time.Now()          // want `time\.Now reads host wall-clock`
+	time.Sleep(time.Second) // want `time\.Sleep reads host wall-clock`
+	t := time.Now()         // want `time\.Now reads host wall-clock`
+	_ = time.Since(t)       // want `time\.Since reads host wall-clock`
+	_ = time.After(1)       // want `time\.After reads host wall-clock`
+	_ = time.NewTicker(1)   // want `time\.NewTicker reads host wall-clock`
+	_ = os.Getpid()         // want `os\.Getpid reads host wall-clock`
+	_, _ = os.Hostname()    // want `os\.Hostname reads host wall-clock`
+}
+
+// typeUsesOK shows that naming time types and constants is fine; only the
+// clock reads are forbidden.
+func typeUsesOK(d time.Duration) time.Duration {
+	return d + 2*time.Millisecond
+}
+
+// annotated is the sanctioned escape hatch: a reasoned allow annotation on
+// the same line or the line above.
+func annotated() time.Time {
+	start := time.Now() //impacc:allow-walltime operator-facing progress timing, never enters sim state
+	//impacc:allow-walltime progress timing on the line above the call
+	_ = time.Since(start)
+	return start
+}
+
+// bareAnnotation shows that an annotation without a reason suppresses
+// nothing and is itself flagged.
+func bareAnnotation() {
+	_ = time.Now() /*impacc:allow-walltime*/ // want `time\.Now reads host wall-clock` `annotation needs a reason`
+}

@@ -101,8 +101,10 @@ func RunMany(exps []Experiment, opt Options) []RunResult {
 	out := make([]RunResult, len(exps))
 	run := func(i int) {
 		var buf bytes.Buffer
+		//impacc:allow-walltime operator-facing progress timing (RunResult.Wall); never enters simulation state or output bytes
 		start := time.Now()
 		err := exps[i].Run(&buf, opt)
+		//impacc:allow-walltime operator-facing progress timing; the Wall field is excluded from canonical output
 		out[i] = RunResult{Exp: exps[i], Output: buf.Bytes(), Wall: time.Since(start), Err: err}
 	}
 	if opt.gate == nil || len(exps) < 2 {

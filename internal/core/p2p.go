@@ -329,6 +329,7 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 			}
 			op.proxy.Fire()
 		})
+		//impacc:allow-spanbalance span is recorded asynchronously by the Done.OnFire completion callback above; a command that never completes deadlocks and aborts the run
 	})
 	t.uqPending[q] = append(t.uqPending[q], op)
 	return &Request{done: op.proxy, uq: op}

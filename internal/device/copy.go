@@ -125,9 +125,11 @@ func (c *Context) transferLane(p *sim.Proc, lane int, id uint64, dst, src xmem.A
 			rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), c.effSocket(), n, c.Pinned)
 		}
 	}
-	if err := c.Space.Copy(dst, src, n); err != nil {
-		return dir, err
-	}
+	// The fabric time above is spent whether or not the backing copy
+	// succeeds, so the transfer is accounted and its span recorded before
+	// any error propagates — otherwise a failing path would leak traced
+	// time and break the profile's telescoping exactness.
+	err = c.Space.Copy(dst, src, n)
 	c.record(dir, n, sim.Dur(p.Now()-start))
 	if c.Sink != nil {
 		if id == 0 {
@@ -135,7 +137,7 @@ func (c *Context) transferLane(p *sim.Proc, lane int, id uint64, dst, src xmem.A
 		}
 		c.Sink.Span(id, lane, "copy", dir.String(), start, p.Now(), n)
 	}
-	return dir, nil
+	return dir, err
 }
 
 // TransferBetween copies across two address spaces on the same node (the
@@ -166,9 +168,9 @@ func TransferBetween(p *sim.Proc, dst *Context, dstAddr xmem.Addr, src *Context,
 		rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), src.effSocket(), n, src.Pinned)
 		rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), dst.effSocket(), n, dst.Pinned)
 	}
-	if err := xmem.CopyBetween(dst.Space, dstAddr, src.Space, srcAddr, n); err != nil {
-		return dir, err
-	}
+	// As in Transfer: the fabric time is spent regardless, so account the
+	// transfer before propagating any backing-copy error.
+	err = xmem.CopyBetween(dst.Space, dstAddr, src.Space, srcAddr, n)
 	dst.record(dir, n, sim.Dur(p.Now()-start))
-	return dir, nil
+	return dir, err
 }
