@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"impacc/internal/bench"
+	"impacc/internal/fault"
 	"impacc/internal/prof"
 	"impacc/internal/telemetry"
 )
@@ -42,6 +43,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		metrics = fs.String("metrics", "", "write the aggregate telemetry of every run to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 		profile = fs.String("prof", "", "trace every run and write the aggregate profile (critical path, top sites) to this file (JSON if it ends in .json, text otherwise)")
 		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "run up to N simulations concurrently (output stays byte-identical)")
+		chaos   = fs.String("chaos", "", "deterministic fault injection applied to every run, seed:spec (see impacc-run -chaos)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	)
@@ -102,6 +104,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := bench.Options{Quick: *quick}.WithJobs(*jobs)
+	if *chaos != "" {
+		spec, err := fault.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: chaos: %v\n", err)
+			return 2
+		}
+		opt.Chaos = spec
+	}
 	if *metrics != "" {
 		// One registry shared by every run of every selected experiment:
 		// counters and histograms aggregate across the whole sweep (each run

@@ -21,6 +21,7 @@ import (
 
 	"impacc/internal/apps"
 	"impacc/internal/core"
+	"impacc/internal/fault"
 	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 )
@@ -100,6 +101,7 @@ func main() {
 		profile = flag.String("prof", "", "write an mpiP-style profile (critical path, imbalance, top sites) to this file (JSON if it ends in .json, text otherwise)")
 		report  = flag.String("report", "", "write the full run report as JSON to this file")
 		metrics = flag.String("metrics", "", "write the run's telemetry snapshot to this file (Prometheus text if it ends in .prom, JSON otherwise)")
+		chaos   = flag.String("chaos", "", "deterministic fault injection, seed:spec (e.g. '7:degrade=*:4,rdmaflap=1:2ms:500us,straggle=0:1.5')")
 	)
 	flag.Parse()
 
@@ -131,6 +133,10 @@ func main() {
 	cfg := core.Config{
 		System: sys, Mode: m, MaxTasks: *tasks, DeviceTypes: mask,
 		Backed: *backed, Seed: *seed, JitterPct: 1,
+	}
+	if *chaos != "" {
+		cfg.Chaos, err = fault.ParseSpec(*chaos)
+		fatal(err)
 	}
 	if *trace != "" || *profile != "" {
 		cfg.Trace = core.NewTracer()

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"impacc/internal/core"
+	"impacc/internal/fault"
 	"impacc/internal/prof"
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
@@ -32,6 +33,10 @@ type Options struct {
 	Prof *prof.Aggregate
 	// Jobs is the worker-pool width set via WithJobs; <= 1 means serial.
 	Jobs int
+	// Chaos, when non-nil, applies the same deterministic fault-injection
+	// spec to every run an experiment performs (each run instantiates a
+	// fresh plan, so serial and parallel sweeps stay byte-identical).
+	Chaos *fault.Spec
 
 	// gate, when non-nil, bounds concurrent simulations (see WithJobs).
 	gate chan struct{}
@@ -83,6 +88,7 @@ func baseCfg(opt Options, sys *topo.System, mode core.Mode, maxTasks int, backed
 		Seed:      2016, // HPDC'16
 		JitterPct: 1.0,
 		Metrics:   opt.Metrics,
+		Chaos:     opt.Chaos,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"impacc/internal/fault"
 	"impacc/internal/telemetry"
 )
 
@@ -72,5 +73,42 @@ func TestParallelRunDeterminism(t *testing.T) {
 		if !bytes.Equal(snap, serialSnap) {
 			t.Fatalf("round %d: -j 8 metrics snapshot differs from serial", round)
 		}
+	}
+}
+
+// TestChaosParallelDeterminism extends the determinism guarantee to fault
+// injection: every run builds a fresh fault plan from the shared spec, so a
+// chaotic sweep through an 8-wide pool is byte-identical to a serial one.
+func TestChaosParallelDeterminism(t *testing.T) {
+	spec, err := fault.ParseSpec("7:degrade=*:3,stall=0:0.4:150us,straggle=1:1.5,rdmaflap=0:2ms:400us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9, _ := ByID("fig9")
+	run := func(jobs int) ([]byte, []byte) {
+		opt := Options{Quick: true, Metrics: telemetry.NewRegistry(), Chaos: spec}.WithJobs(jobs)
+		var out bytes.Buffer
+		for _, r := range RunMany([]Experiment{fig9}, opt) {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Exp.ID, r.Err)
+			}
+			out.Write(r.Output)
+		}
+		var snap bytes.Buffer
+		if err := opt.Metrics.Snapshot(0).WriteJSON(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), snap.Bytes()
+	}
+	serialOut, serialSnap := run(1)
+	parOut, parSnap := run(8)
+	if !bytes.Equal(serialOut, parOut) {
+		t.Fatal("chaotic -j 8 output differs from serial")
+	}
+	if !bytes.Equal(serialSnap, parSnap) {
+		t.Fatal("chaotic -j 8 metrics snapshot differs from serial")
+	}
+	if !bytes.Contains(serialSnap, []byte(fault.InjectedTotal)) {
+		t.Fatalf("chaotic sweep recorded no %s events", fault.InjectedTotal)
 	}
 }

@@ -134,9 +134,7 @@ func (c *Comm) Bcast(addr xmem.Addr, count int, dt mpi.Datatype, root int, opts 
 	}
 	o := parseOpts(opts)
 	o.comm = c.id
-	if o.async >= 0 {
-		t.failf("collectives do not accept async clauses")
-	}
+	t.noAsync(o)
 	buf, bytes := t.resolveBuf(addr, count, dt, o)
 	leaders, myLeader := c.leaders(root)
 
@@ -272,9 +270,7 @@ func (c *Comm) Reduce(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, 
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
-	if o.async >= 0 {
-		t.failf("collectives do not accept async clauses")
-	}
+	t.noAsync(o)
 	sbuf, bytes := t.resolveBuf(sendAddr, count, dt, o)
 	n := c.Size()
 
@@ -325,6 +321,7 @@ func (c *Comm) Gather(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr x
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
+	t.noAsync(o)
 	sbuf, bytes := t.resolveBuf(sendAddr, count, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
@@ -366,6 +363,7 @@ func (c *Comm) Scatter(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr 
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
+	t.noAsync(o)
 	rbuf, bytes := t.resolveBuf(recvAddr, count, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
@@ -413,6 +411,7 @@ func (c *Comm) Alltoall(sendAddr xmem.Addr, count int, dt mpi.Datatype, recvAddr
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
+	t.noAsync(o)
 	n := c.Size()
 	me := c.myRank
 	sbuf, _ := t.resolveBuf(sendAddr, count*n, dt, o)
@@ -456,6 +455,15 @@ func (t *Task) tempFree(a xmem.Addr) {
 	}
 }
 
+// noAsync rejects an async clause on a collective. Every collective entry
+// point funnels through this one check so the rejection is uniform (the
+// unified activity queue only carries point-to-point MPI ops, §3.6).
+func (t *Task) noAsync(o callOpts) {
+	if o.async >= 0 {
+		t.failf("collectives do not accept async clauses")
+	}
+}
+
 // localCopy moves bytes within the task (self-communication), charged as a
 // normal transfer.
 func (t *Task) localCopy(dst, src xmem.Addr, n int64) {
@@ -482,9 +490,17 @@ func (t *Task) combine(op mpi.Op, dt mpi.Datatype, acc, in xmem.Addr, count int)
 // (count elements) lands in member i's recv buffer.
 func (c *Comm) ReduceScatter(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, op mpi.Op, opts ...Opt) {
 	t := c.t
+	t.noAsync(parseOpts(opts))
 	n := c.Size()
-	full := t.tempAlloc(int64(count*n) * dt.Size())
-	defer t.tempFree(full)
+	// Only the funnel root materializes the full count*n reduction; the
+	// other members pass Nil, which Reduce and Scatter never resolve
+	// off-root. Allocating the scratch on every rank wasted count*n
+	// elements per member.
+	full := xmem.Nil
+	if c.myRank == 0 {
+		full = t.tempAlloc(int64(count*n) * dt.Size())
+		defer t.tempFree(full)
+	}
 	c.Reduce(sendAddr, full, count*n, dt, op, 0, opts...)
 	c.Scatter(full, count, dt, recvAddr, 0, opts...)
 }
@@ -496,9 +512,7 @@ func (c *Comm) Scan(sendAddr, recvAddr xmem.Addr, count int, dt mpi.Datatype, op
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
-	if o.async >= 0 {
-		t.failf("collectives do not accept async clauses")
-	}
+	t.noAsync(o)
 	sbuf, bytes := t.resolveBuf(sendAddr, count, dt, o)
 	rbuf, _ := t.resolveBuf(recvAddr, count, dt, o)
 	t.localCopy(rbuf, sbuf, bytes)
@@ -545,6 +559,7 @@ func (c *Comm) Gatherv(sendAddr xmem.Addr, sendCount int, dt mpi.Datatype,
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
+	t.noAsync(o)
 	sbuf, sbytes := t.resolveBuf(sendAddr, sendCount, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()
@@ -597,6 +612,7 @@ func (c *Comm) Scatterv(sendAddr xmem.Addr, counts, displs []int, dt mpi.Datatyp
 	base := c.collBase()
 	o := parseOpts(opts)
 	o.comm = c.id
+	t.noAsync(o)
 	rbuf, rbytes := t.resolveBuf(recvAddr, recvCount, dt, o)
 	if c.myRank != root {
 		start := t.proc.Now()

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"impacc/internal/fault"
 	"impacc/internal/msg"
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
@@ -110,6 +111,11 @@ type Config struct {
 	// letting several runs (e.g. a benchmark sweep) aggregate into one
 	// registry. Nil keeps the engine's own fresh registry.
 	Metrics *telemetry.Registry
+	// Chaos, when non-nil, instantiates a deterministic fault-injection
+	// plan for the run (see internal/fault): link degradation and flaps,
+	// NIC send stalls, compute stragglers, transient device-copy failures,
+	// plus the matching resilience knobs (timeout, retries, backoff).
+	Chaos *fault.Spec
 }
 
 // validate normalizes and checks the configuration.
@@ -150,7 +156,7 @@ func (c *Config) features() Features {
 // msgConfig builds the hub configuration.
 func (c *Config) msgConfig() msg.Config {
 	f := c.features()
-	return msg.Config{
+	mc := msg.Config{
 		Legacy:          c.Mode == Legacy,
 		Fusion:          f.Fusion,
 		Aliasing:        f.Aliasing,
@@ -162,6 +168,12 @@ func (c *Config) msgConfig() msg.Config {
 		AliasOverhead:   c.Overheads.Alias,
 		MPIOverhead:     c.System.MPIOverhead,
 	}
+	if c.Chaos != nil {
+		mc.NetTimeout = c.Chaos.Timeout()
+		mc.MaxNetRetries = c.Chaos.Retries()
+		mc.NetBackoff = c.Chaos.Backoff()
+	}
+	return mc
 }
 
 // Placement maps one rank to its node and device (Figure 2).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impacc/internal/device"
+	"impacc/internal/fault"
 	"impacc/internal/msg"
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
@@ -35,6 +36,10 @@ type Runtime struct {
 	nodes      map[int]*nodeState
 	tasks      []*Task
 	placements []Placement
+	// faults is the run's fault-injection plan (nil on healthy runs). It is
+	// instantiated fresh per run from Cfg.Chaos so concurrent runs of the
+	// same spec draw identical per-node streams (serial vs -j N parity).
+	faults *fault.Plan
 	// aggregate, when non-nil, receives a merge of the run's private
 	// telemetry after Execute completes (mutex-guarded inside Merge, so
 	// many runs may share one aggregate concurrently).
@@ -98,6 +103,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		aggregate: cfg.Metrics,
 	}
 	rt.Fab = topo.NewFabric(rt.Eng, cfg.System)
+	if cfg.Chaos != nil {
+		rt.faults = fault.NewPlan(cfg.Chaos, len(cfg.System.Nodes), rt.Eng.Metrics)
+		rt.Fab.Faults = rt.faults
+	}
 	rt.placements = BuildMapping(cfg.System, cfg.DeviceTypes, cfg.MaxTasks)
 	if len(rt.placements) == 0 {
 		return nil, fmt.Errorf("core: no accelerators match device types %v", cfg.DeviceTypes)
@@ -118,6 +127,20 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				// matches the pair (intranode or internode).
 				ns.hub.OnMatch = func(sendID, recvID uint64, post sim.Time, bytes int64) {
 					tr.msgEdge(sendID, recvID, post, rt.Eng.Now(), bytes)
+				}
+			}
+			if rt.faults != nil {
+				ns.hub.SetFaults(rt.faults)
+				ns.devrt.Faults = rt.faults
+				if tr := cfg.Trace; tr != nil {
+					// Attribute injected resilience intervals (send-retry
+					// backoff) on the affected rank's host lane so the
+					// profiler's critical path can account fault time.
+					node := ns.idx
+					ns.hub.OnFault = func(kind string, rank int, start, end sim.Time) {
+						tr.record(Span{Rank: rank, Node: node, Stream: -1,
+							Kind: "retry", Name: kind, Start: start, End: end, Peer: -1})
+					}
 				}
 			}
 			if cfg.Mode == IMPACC {

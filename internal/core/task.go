@@ -264,7 +264,9 @@ func (t *Task) Compute(flops float64) {
 	t.Busy(sim.DurFromSeconds(flops / rate))
 }
 
-// Busy charges d of host CPU time (plus jitter).
+// Busy charges d of host CPU time (plus jitter). Under a chaos plan a
+// straggling node stretches its compute by the plan's factor; the extra
+// time is recorded as its own "straggle" span so profiles attribute it.
 func (t *Task) Busy(d sim.Dur) {
 	if t.rt.Cfg.JitterPct > 0 {
 		f := 1 + t.rt.Cfg.JitterPct/100*(2*t.rng.Float64()-1)
@@ -274,6 +276,15 @@ func (t *Task) Busy(d sim.Dur) {
 	t.proc.Sleep(d)
 	t.hostTime += d
 	t.span("compute", "host", start)
+	if ft := t.rt.faults; ft != nil {
+		if sf := ft.StraggleFactor(t.pl.Node, t.proc.Now()); sf > 1 {
+			extra := sim.Dur(float64(d) * (sf - 1))
+			s2 := t.proc.Now()
+			t.proc.Sleep(extra)
+			t.hostTime += extra
+			t.span("straggle", "host", s2)
+		}
+	}
 }
 
 // ---- OpenACC facade ----------------------------------------------------

@@ -106,30 +106,48 @@ func (c *Context) transferLane(p *sim.Proc, lane int, id uint64, dst, src xmem.A
 	dir := Classify(dloc, sloc)
 	start := p.Now()
 	rt := c.Dev.rt
-	switch dir {
-	case HtoH:
-		rt.Fab.HostCopy(p, rt.NodeIdx, n)
-	case HtoD:
-		rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), c.effSocket(), n, c.Pinned)
-	case DtoH:
-		rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), c.effSocket(), n, c.Pinned)
-	case DtoD:
-		if sloc.Device() == dloc.Device() {
-			// On-device DMA at device memory bandwidth (read + write).
-			p.Sleep(sim.DurFromSeconds(2 * float64(n) / (c.Dev.Spec.MemBWGBs * 1e9)))
-		} else if rt.Fab.CanP2P(rt.NodeIdx, sloc.Device(), dloc.Device()) {
-			p.SleepUntil(rt.Fab.P2PCopyAsync(rt.NodeIdx, sloc.Device(), dloc.Device(), n))
-		} else {
-			// Staged: device -> host bounce buffer -> device.
-			rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), c.effSocket(), n, c.Pinned)
+	charge := func() {
+		switch dir {
+		case HtoH:
+			rt.Fab.HostCopy(p, rt.NodeIdx, n)
+		case HtoD:
 			rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), c.effSocket(), n, c.Pinned)
+		case DtoH:
+			rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), c.effSocket(), n, c.Pinned)
+		case DtoD:
+			if sloc.Device() == dloc.Device() {
+				// On-device DMA at device memory bandwidth (read + write).
+				p.Sleep(sim.DurFromSeconds(2 * float64(n) / (c.Dev.Spec.MemBWGBs * 1e9)))
+			} else if rt.Fab.CanP2P(rt.NodeIdx, sloc.Device(), dloc.Device()) {
+				p.SleepUntil(rt.Fab.P2PCopyAsync(rt.NodeIdx, sloc.Device(), dloc.Device(), n))
+			} else {
+				// Staged: device -> host bounce buffer -> device.
+				rt.Fab.PCIeCopy(p, rt.NodeIdx, sloc.Device(), c.effSocket(), n, c.Pinned)
+				rt.Fab.PCIeCopy(p, rt.NodeIdx, dloc.Device(), c.effSocket(), n, c.Pinned)
+			}
 		}
+	}
+	charge()
+	var copyErr error
+	if ft := rt.Faults; ft != nil {
+		// Transient copy failures: each failed attempt still spent its
+		// fabric time, and the driver re-drives the transfer until it lands
+		// or the retry budget runs out.
+		for attempt := 1; ft.CopyFail(rt.NodeIdx); attempt++ {
+			if attempt > ft.CopyRetries() {
+				copyErr = fmt.Errorf("device: Transfer %s: copy failed after %d attempts", dir, attempt)
+				break
+			}
+			charge()
+		}
+	}
+	if copyErr == nil {
+		copyErr = c.Space.Copy(dst, src, n)
 	}
 	// The fabric time above is spent whether or not the backing copy
 	// succeeds, so the transfer is accounted and its span recorded before
 	// any error propagates — otherwise a failing path would leak traced
 	// time and break the profile's telescoping exactness.
-	err = c.Space.Copy(dst, src, n)
 	c.record(dir, n, sim.Dur(p.Now()-start))
 	if c.Sink != nil {
 		if id == 0 {
@@ -137,7 +155,7 @@ func (c *Context) transferLane(p *sim.Proc, lane int, id uint64, dst, src xmem.A
 		}
 		c.Sink.Span(id, lane, "copy", dir.String(), start, p.Now(), n)
 	}
-	return dir, err
+	return dir, copyErr
 }
 
 // TransferBetween copies across two address spaces on the same node (the

@@ -69,6 +69,19 @@ type Runtime struct {
 	NodeIdx int
 	Spec    *topo.NodeSpec
 	Devices []*Device
+	// Faults, when set, injects transient device-copy failures that the
+	// transfer path absorbs by re-charging the copy (a driver-level retry).
+	// The internal/fault package's Plan satisfies it.
+	Faults CopyFaults
+}
+
+// CopyFaults is the slice of a chaos plan the device runtime consults.
+type CopyFaults interface {
+	// CopyFail reports whether the next copy attempt on node fails
+	// transiently (one deterministic draw per call).
+	CopyFail(node int) bool
+	// CopyRetries bounds re-attempts before a copy error surfaces.
+	CopyRetries() int
 }
 
 // NewRuntime builds device objects for every accelerator of node nodeIdx.

@@ -482,3 +482,74 @@ func TestKernelGeometryCarried(t *testing.T) {
 		t.Fatal("geometry fields lost")
 	}
 }
+
+// flakyCopies fails the first n CopyFail probes, then heals.
+type flakyCopies struct {
+	fails   int
+	retries int
+}
+
+func (f *flakyCopies) CopyFail(node int) bool {
+	if f.fails > 0 {
+		f.fails--
+		return true
+	}
+	return false
+}
+func (f *flakyCopies) CopyRetries() int { return f.retries }
+
+// TestTransferRetriesTransientCopyFault: a transient device-copy fault is
+// retried (paying the lane again each attempt) and the payload still lands;
+// exhausting the retry budget surfaces an error instead of corrupt data.
+func TestTransferRetriesTransientCopyFault(t *testing.T) {
+	eng, rt, ctx := psgRig(0)
+	rt.Faults = &flakyCopies{fails: 2, retries: 3}
+	host, _ := ctx.Space.AllocHost(4096, true)
+	dev, _ := ctx.MemAlloc(4096)
+	hb, _ := ctx.Space.Bytes(host, 4096)
+	for i := range hb {
+		hb[i] = byte(i * 5)
+	}
+	var healthy, faulty sim.Dur
+	eng.Spawn("t", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := ctx.Transfer(p, dev, host, 4096); err != nil {
+			t.Error(err)
+		}
+		faulty = sim.Dur(p.Now() - start)
+		start = p.Now()
+		if _, err := ctx.Transfer(p, dev, host, 4096); err != nil { // healed
+			t.Error(err)
+		}
+		healthy = sim.Dur(p.Now() - start)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if faulty <= healthy {
+		t.Fatalf("faulty transfer (%v) not slower than healthy (%v)", faulty, healthy)
+	}
+	db, _ := ctx.Space.Bytes(dev, 4096)
+	for i := range db {
+		if db[i] != byte(i*5) {
+			t.Fatalf("payload mismatch at %d after copy retries", i)
+		}
+	}
+
+	// Exhaust the budget: every probe fails.
+	rt.Faults = &flakyCopies{fails: 1 << 30, retries: 2}
+	eng2, rt2, ctx2 := psgRig(0)
+	rt2.Faults = rt.Faults
+	h2, _ := ctx2.Space.AllocHost(64, true)
+	d2, _ := ctx2.MemAlloc(64)
+	var err2 error
+	eng2.Spawn("t", func(p *sim.Proc) {
+		_, err2 = ctx2.Transfer(p, d2, h2, 64)
+	})
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err2 == nil {
+		t.Fatal("transfer succeeded with a permanently failing copy engine")
+	}
+}

@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"testing"
+
+	"impacc/internal/sim"
+	"impacc/internal/telemetry"
+)
+
+func mustParse(t *testing.T, text string) *Spec {
+	t.Helper()
+	sp, err := ParseSpec(text)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", text, err)
+	}
+	return sp
+}
+
+func TestParseSpec(t *testing.T) {
+	sp := mustParse(t, "42:degrade=*:4:1ms:5ms,flap=1:2ms:500us,rdmaflap=*:1ms:100us,"+
+		"stall=0:0.5:10us,straggle=0:1.5,copyfail=*:0.25,timeout=2ms,retries=6,backoff=50us")
+	if sp.Seed != 42 {
+		t.Fatalf("seed = %d", sp.Seed)
+	}
+	if sp.Timeout() != 2*sim.Millisecond || sp.Retries() != 6 || sp.Backoff() != 50*sim.Microsecond {
+		t.Fatalf("resilience knobs: %v %d %v", sp.Timeout(), sp.Retries(), sp.Backoff())
+	}
+	if len(sp.degrades) != 1 || len(sp.flaps) != 2 || len(sp.stalls) != 1 ||
+		len(sp.straggles) != 1 || len(sp.copyFails) != 1 {
+		t.Fatalf("rule counts: %+v", sp)
+	}
+	if sp.String() == "" {
+		t.Fatal("String() lost the source text")
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	sp := mustParse(t, "7:straggle=*:2")
+	if sp.Timeout() != DefaultTimeout || sp.Retries() != DefaultRetries || sp.Backoff() != DefaultBackoff {
+		t.Fatalf("defaults: %v %d %v", sp.Timeout(), sp.Retries(), sp.Backoff())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, text := range []string{
+		"no-seed-rule",          // missing seed separator
+		"x:straggle=*:2",        // bad seed
+		"1:bogus=1:2",           // unknown rule
+		"1:degrade=*:0.5",       // factor < 1
+		"1:flap=0:1ms:2ms",      // down >= period
+		"1:stall=0:1.5:1us",     // probability > 1
+		"1:copyfail=q:0.5",      // bad node
+		"1:degrade=0:2:5ms:1ms", // window end before start
+		"1:timeout=10",          // missing duration unit
+		"1:retries=0",           // retries < 1
+		"1:straggle",            // missing args
+	} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", text)
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	sp := mustParse(t, "99:flap=*:2ms:300us,stall=*:0.5:10us,copyfail=*:0.3,degrade=1:2")
+	draw := func() []any {
+		p := NewPlan(sp, 4, nil)
+		var out []any
+		for i := 0; i < 64; i++ {
+			node := i % 4
+			at := sim.Time(i) * 100_000
+			out = append(out, p.LinkUp(node, at), p.RDMAUp(node, at),
+				p.SendStall(node, at), p.CopyFail(node), p.LinkFactor(node, at))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFlapPeriodicity(t *testing.T) {
+	// A 1ms period with 250us down must be down for exactly 1/4 of a long
+	// sampling window, at every node, regardless of phase.
+	sp := mustParse(t, "5:flap=*:1ms:250us")
+	p := NewPlan(sp, 2, nil)
+	const samples = 4000
+	down := 0
+	for i := 0; i < samples; i++ {
+		if !p.LinkUp(0, sim.Time(i)*sim.Time(sim.Microsecond)) {
+			down++
+		}
+	}
+	if down != samples/4 {
+		t.Fatalf("down %d/%d samples, want exactly 1/4", down, samples)
+	}
+	// Full-link flap also takes RDMA down at the same instants.
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * sim.Time(sim.Microsecond)
+		if p.LinkUp(0, at) != p.RDMAUp(0, at) {
+			t.Fatalf("full-link flap must imply RDMA down at %v", at)
+		}
+	}
+}
+
+func TestRDMAFlapLeavesLinkUp(t *testing.T) {
+	sp := mustParse(t, "5:rdmaflap=0:1ms:400us")
+	p := NewPlan(sp, 2, nil)
+	sawDown := false
+	for i := 0; i < 2000; i++ {
+		at := sim.Time(i) * sim.Time(sim.Microsecond)
+		if !p.LinkUp(0, at) {
+			t.Fatalf("rdmaflap must not take the full link down (t=%v)", at)
+		}
+		if !p.RDMAUp(0, at) {
+			sawDown = true
+		}
+		if !p.RDMAUp(1, at) {
+			t.Fatalf("rule scoped to node 0 hit node 1 (t=%v)", at)
+		}
+	}
+	if !sawDown {
+		t.Fatal("rdmaflap never took RDMA down")
+	}
+}
+
+func TestDegradeWindow(t *testing.T) {
+	sp := mustParse(t, "5:degrade=1:4:1ms:2ms")
+	p := NewPlan(sp, 2, nil)
+	ms := sim.Time(sim.Millisecond)
+	if f := p.LinkFactor(1, ms/2); f != 1 {
+		t.Fatalf("before window: factor %v", f)
+	}
+	if f := p.LinkFactor(1, ms+ms/2); f != 4 {
+		t.Fatalf("inside window: factor %v", f)
+	}
+	if f := p.LinkFactor(1, 2*ms); f != 1 {
+		t.Fatalf("after window: factor %v", f)
+	}
+	if f := p.LinkFactor(0, ms+ms/2); f != 1 {
+		t.Fatalf("other node: factor %v", f)
+	}
+}
+
+func TestStraggleFactorCompounds(t *testing.T) {
+	sp := mustParse(t, "5:straggle=*:1.5,straggle=0:2")
+	p := NewPlan(sp, 2, nil)
+	if f := p.StraggleFactor(0, 0); f != 3 {
+		t.Fatalf("node 0 factor %v, want 1.5*2", f)
+	}
+	if f := p.StraggleFactor(1, 0); f != 1.5 {
+		t.Fatalf("node 1 factor %v, want 1.5", f)
+	}
+}
+
+func TestStallAndCopyFailRates(t *testing.T) {
+	sp := mustParse(t, "11:stall=0:0.5:10us,copyfail=0:0.25")
+	p := NewPlan(sp, 1, nil)
+	stalls, fails := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.SendStall(0, 0) > 0 {
+			stalls++
+		}
+		if p.CopyFail(0) {
+			fails++
+		}
+	}
+	if stalls < n*4/10 || stalls > n*6/10 {
+		t.Fatalf("stall rate %d/%d far from 0.5", stalls, n)
+	}
+	if fails < n*15/100 || fails > n*35/100 {
+		t.Fatalf("copyfail rate %d/%d far from 0.25", fails, n)
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	sp := mustParse(t, "5:degrade=0:2,copyfail=0:1")
+	reg := telemetry.NewRegistry()
+	p := NewPlan(sp, 1, reg)
+	p.LinkFactor(0, 0)
+	p.CopyFail(0)
+	p.CopyFail(0)
+	if v := reg.Counter(InjectedTotal, "", "kind", "degrade", "node", "0").Value(); v != 1 {
+		t.Fatalf("degrade counter = %d", v)
+	}
+	if v := reg.Counter(InjectedTotal, "", "kind", "copyfail", "node", "0").Value(); v != 2 {
+		t.Fatalf("copyfail counter = %d", v)
+	}
+}

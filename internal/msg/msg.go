@@ -67,6 +67,17 @@ type Config struct {
 	AliasOverhead sim.Dur
 	// MPIOverhead is the per-call cost of the underlying MPI library.
 	MPIOverhead sim.Dur
+
+	// NetTimeout, when positive, bounds how long a receive posted through
+	// PostNetRecv waits for its message before failing with a *NetError.
+	// Zero disables timeouts (healthy-run behavior is unchanged).
+	NetTimeout sim.Dur
+	// MaxNetRetries bounds send re-attempts across a down link before the
+	// command fails; zero takes a default when a fault model is attached.
+	MaxNetRetries int
+	// NetBackoff is the first send-retry delay; each further attempt
+	// doubles it. Zero takes a default when a fault model is attached.
+	NetBackoff sim.Dur
 }
 
 // Cmd is one send or receive command. Task threads create commands and
@@ -102,6 +113,10 @@ type Cmd struct {
 	PostedAt sim.Time
 
 	snapshot []byte // eager-buffered data for internode sends
+	// matched marks a receive the handler has paired with a message; a
+	// NetTimeout deadline firing after this point is a no-op even though
+	// Done waits on the transfer stages.
+	matched bool
 	// seq is the hub-local posting order stamp, assigned when the command
 	// parks in a pending structure; "earliest posted" comparisons across
 	// the keyed queues and the wildcard list reduce to min-seq.
@@ -123,6 +138,40 @@ func (r *Cmd) accepts(comm, dst, src, tag int) bool {
 	}
 	return true
 }
+
+// FaultModel is the slice of a chaos plan the hub consults: whole-link and
+// RDMA-path availability per node over virtual time. The internal/fault
+// package's Plan satisfies it; the hub depends only on this interface.
+type FaultModel interface {
+	LinkUp(node int, at sim.Time) bool
+	RDMAUp(node int, at sim.Time) bool
+}
+
+// NetError is the failure report surfaced on Cmd.Err when the resilience
+// layer gives up on an internode command instead of wedging the handler.
+type NetError struct {
+	Op       string // "send" or "recv"
+	Src, Dst int
+	Tag      int
+	Bytes    int64
+	Attempts int      // send attempts made (0 for receive timeouts)
+	At       sim.Time // virtual time of the failure
+}
+
+func (e *NetError) Error() string {
+	if e.Op == "recv" {
+		return fmt.Sprintf("msg: recv src=%d dst=%d tag=%d timed out at t=%dns", e.Src, e.Dst, e.Tag, int64(e.At))
+	}
+	return fmt.Sprintf("msg: send src=%d dst=%d tag=%d (%d bytes) gave up after %d attempts at t=%dns",
+		e.Src, e.Dst, e.Tag, e.Bytes, e.Attempts, int64(e.At))
+}
+
+// Resilience defaults used when a fault model is attached but the config
+// leaves the knobs zero.
+const (
+	defaultNetRetries = 8
+	defaultNetBackoff = 100 * sim.Microsecond
+)
 
 // netMsg is an internode message arriving at the destination node: the
 // entry unit of the pending internode message queue.
@@ -174,12 +223,27 @@ const (
 	PendingNetPeak = "msg_pending_net_peak"
 )
 
+// Resilience family names. These register lazily in SetFaults so healthy
+// (chaos-free) runs publish no extra families and their metric snapshots
+// stay byte-identical to pre-chaos baselines.
+const (
+	NetRetriesTotal  = "msg_net_retries_total"
+	NetTimeoutsTotal = "msg_net_timeouts_total"
+	NetReroutedTotal = "msg_net_rerouted_total"
+	NetFailuresTotal = "msg_net_failures_total"
+)
+
 // hubCounters are the hub's live telemetry handles.
 type hubCounters struct {
 	intraMsgs, netIn, netOut       *telemetry.Counter
 	fusedCopies, legacyCopies      *telemetry.Counter
 	aliases, rdmaDirect, staged    *telemetry.Counter
 	intraQueuePeak, pendingNetPeak *telemetry.Gauge
+}
+
+// faultCounters are the resilience telemetry handles; nil on healthy runs.
+type faultCounters struct {
+	retries, timeouts, rerouted, failures *telemetry.Counter
 }
 
 // Hub is the per-node message engine. Under IMPACC it embodies the single
@@ -197,8 +261,15 @@ type Hub struct {
 	// the hook the causal tracer uses to record message edges. Called only
 	// when both sides carry a trace ID.
 	OnMatch func(sendID, recvID uint64, post sim.Time, bytes int64)
+	// OnFault, when set, is invoked at the end of every injected resilience
+	// interval (send-retry backoff) with the affected rank and the interval
+	// bounds — the hook the causal tracer uses to attribute fault time.
+	OnFault func(kind string, rank int, start, end sim.Time)
 
-	ctr hubCounters
+	ctr    hubCounters
+	fctr   *faultCounters
+	reg    *telemetry.Registry
+	faults FaultModel
 
 	intraQ   *mpsc.Queue[*Cmd]    // intra-node message queue
 	pendingQ *mpsc.Queue[*netMsg] // pending internode message queue
@@ -258,10 +329,44 @@ func NewHub(eng *sim.Engine, fab *topo.Fabric, node int, cfg Config, heap *xmem.
 		intraQueuePeak: reg.Gauge(IntraQueuePeak, "deepest observed intra-node message queue backlog", "node", name),
 		pendingNetPeak: reg.Gauge(PendingNetPeak, "deepest observed pending internode message backlog", "node", name),
 	}
+	h.reg = reg
 	if !cfg.ThreadMultiple {
 		h.serial = eng.NewSemaphore(1, fmt.Sprintf("hub%d-serial", node))
 	}
 	return h
+}
+
+// SetFaults attaches a chaos fault model. The resilience counters register
+// here — not in NewHub — so healthy runs publish no chaos families.
+func (h *Hub) SetFaults(fm FaultModel) {
+	h.faults = fm
+	if fm == nil {
+		h.fctr = nil
+		return
+	}
+	name := h.Fab.Sys.Nodes[h.Node].Name
+	h.fctr = &faultCounters{
+		retries:  h.reg.Counter(NetRetriesTotal, "internode send attempts deferred by a down link", "node", name),
+		timeouts: h.reg.Counter(NetTimeoutsTotal, "internode receives failed by timeout", "node", name),
+		rerouted: h.reg.Counter(NetReroutedTotal, "RDMA transfers rerouted to host staging", "node", name),
+		failures: h.reg.Counter(NetFailuresTotal, "internode commands failed after exhausting retries", "node", name),
+	}
+}
+
+// netRetries / netBackoff resolve the resilience knobs, falling back to the
+// package defaults when a fault model is attached with the knobs unset.
+func (h *Hub) netRetries() int {
+	if h.Cfg.MaxNetRetries > 0 {
+		return h.Cfg.MaxNetRetries
+	}
+	return defaultNetRetries
+}
+
+func (h *Hub) netBackoff() sim.Dur {
+	if h.Cfg.NetBackoff > 0 {
+		return h.Cfg.NetBackoff
+	}
+	return defaultNetBackoff
 }
 
 // Stats snapshots the hub's telemetry counters into the legacy view.
@@ -330,6 +435,9 @@ func (h *Hub) handleCmd(cmd *Cmd) {
 	}
 	// Receive: first try pending intra sends, then arrived internode
 	// messages (distinct source ranks; FIFO within each origin).
+	if cmd.Done.Fired() {
+		return // timed out before the handler dequeued it
+	}
 	if s, k := h.peekSendFor(cmd); s != nil {
 		h.popSendQ(k)
 		h.completePair(s, cmd)
@@ -361,20 +469,31 @@ func (h *Hub) stamp(seq *uint64) {
 // is deterministic.
 func (h *Hub) takeRecvFor(comm, dst, src, tag int) *Cmd {
 	k := matchKey{comm, dst, src, tag}
+	// Receives abandoned by a NetTimeout stay parked until matching next
+	// touches their queue; purge them here.
+	for len(h.recvQ[k]) > 0 && h.recvQ[k][0].Done.Fired() {
+		h.popRecvQ(k)
+	}
 	var best *Cmd
 	wildIdx := -1
 	if q := h.recvQ[k]; len(q) > 0 {
 		best = q[0]
 	}
-	// wildRecvs is in posting order, so the first acceptor is the
+	// wildRecvs is in posting order, so the first live acceptor is the
 	// earliest wildcard candidate.
-	for i, r := range h.wildRecvs {
+	for i := 0; i < len(h.wildRecvs); {
+		r := h.wildRecvs[i]
+		if r.Done.Fired() {
+			h.wildRecvs = append(h.wildRecvs[:i], h.wildRecvs[i+1:]...)
+			continue
+		}
 		if r.accepts(comm, dst, src, tag) {
 			if best == nil || r.seq < best.seq {
 				best, wildIdx = r, i
 			}
 			break
 		}
+		i++
 	}
 	switch {
 	case best == nil:
@@ -487,10 +606,24 @@ func (h *Hub) fail(send, recv *Cmd, err error) {
 	}
 }
 
+// timeoutRecv fails a posted receive whose NetTimeout deadline elapsed
+// unmatched. The command may still sit in a matching structure; fired
+// entries are purged lazily the next time matching touches their queue.
+func (h *Hub) timeoutRecv(cmd *Cmd) {
+	if cmd.matched || cmd.Done.Fired() {
+		return
+	}
+	if h.fctr != nil {
+		h.fctr.timeouts.Inc()
+	}
+	h.fail(nil, cmd, &NetError{Op: "recv", Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, At: h.Eng.Now()})
+}
+
 // completePair serves a matched intra-node send/receive pair: node heap
 // aliasing when every requirement holds, otherwise one fused copy (IMPACC)
 // or the legacy staged transport.
 func (h *Hub) completePair(send, recv *Cmd) {
+	recv.matched = true
 	if recv.Bytes < send.Bytes {
 		h.fail(send, recv, fmt.Errorf("msg: truncation: recv %d bytes < send %d", recv.Bytes, send.Bytes))
 		return
@@ -502,7 +635,6 @@ func (h *Hub) completePair(send, recv *Cmd) {
 	if send.Bytes == 0 {
 		// Zero-byte message: synchronization only, nothing to move.
 		at := h.Eng.Now() + sim.Time(h.Cfg.AliasOverhead)
-		recv.MatchedBytes = 0
 		h.Eng.At(at, func() {
 			send.Done.Fire()
 			recv.Done.Fire()

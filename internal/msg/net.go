@@ -19,7 +19,8 @@ import (
 // a network adapter without staging through host memory"); otherwise the
 // runtime stages through its pre-pinned host buffer with an asynchronous
 // device-to-host copy chained to the network injection — the
-// cuStreamAddCallback pattern of §3.7.
+// cuStreamAddCallback pattern of §3.7. When a fault model reports the RDMA
+// path down, direct transfers degrade to the staging path instead.
 func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 	locked := false
 	if h.serial != nil {
@@ -39,13 +40,9 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 		// Zero-byte message: a bare network round of latency only.
 		unlock()
 		h.ctr.netOut.Inc()
-		end := h.Fab.NetSendAsync(h.Node, dst.Node, 0)
 		m := &netMsg{Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, SrcEp: cmd.Ep,
 			SendID: cmd.TraceID, SendPost: cmd.PostedAt}
-		h.Eng.At(end, func() {
-			cmd.Done.Fire()
-			dst.deliver(m)
-		})
+		h.netInject(cmd, m, dst, 0, 0)
 		return
 	}
 	sloc, err := cmd.Ep.Space.Lookup(cmd.Addr)
@@ -64,12 +61,31 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 	}
 	n := cmd.Bytes
 	// Eager-buffer the payload so the sender may reuse its buffer the
-	// moment Done fires.
-	if b, err := cmd.Ep.Space.Bytes(cmd.Addr, n); err == nil && b != nil {
+	// moment Done fires. The snapshot is mandatory for backed spaces: the
+	// sender's memory must never be read again after Done, so a buffer that
+	// cannot be snapshotted (range escapes its segment) fails the send now
+	// rather than corrupting the receive later.
+	b, berr := cmd.Ep.Space.Bytes(cmd.Addr, n)
+	if berr != nil {
+		unlock()
+		cmd.Err = berr
+		cmd.Done.Fire()
+		return
+	}
+	if b != nil {
 		cmd.snapshot = append([]byte(nil), b...)
 	}
 
 	direct := onDevice && h.Cfg.RDMA && h.Fab.RDMACapable(h.Node, dst.Node)
+	if direct && h.faults != nil {
+		now := h.Eng.Now()
+		if !h.faults.RDMAUp(h.Node, now) || !h.faults.RDMAUp(dst.Node, now) {
+			// Graceful degradation: while the RDMA path flaps, fall back
+			// to the pinned-buffer staging path instead of failing.
+			direct = false
+			h.fctr.rerouted.Inc()
+		}
+	}
 	staged := onDevice && !direct
 	var stages []func() sim.Time
 	if staged {
@@ -95,10 +111,6 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 	if !staged {
 		unlock() // host-memory and RDMA sends release the call lock here
 	}
-	srcNode, dstNode := h.Node, dst.Node
-	stages = append(stages, func() sim.Time {
-		return h.Fab.NetSendAsync(srcNode, dstNode, n)
-	})
 	h.ctr.netOut.Inc()
 	m := &netMsg{
 		Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag, Comm: cmd.Comm, Bytes: n,
@@ -107,6 +119,38 @@ func (h *Hub) PostNetSend(p *sim.Proc, cmd *Cmd, dst *Hub) {
 		SendID: cmd.TraceID, SendPost: cmd.PostedAt,
 	}
 	h.runChain(stages, func() {
+		h.netInject(cmd, m, dst, n, 0)
+	})
+}
+
+// netInject pushes a message onto the wire, deferring with deterministic
+// exponential backoff while the fault model holds the sender's link down.
+// Exhausting the retry budget surfaces a *NetError on the send command
+// instead of wedging the transfer.
+func (h *Hub) netInject(cmd *Cmd, m *netMsg, dst *Hub, n int64, attempt int) {
+	if h.faults != nil && !h.faults.LinkUp(h.Node, h.Eng.Now()) {
+		if attempt >= h.netRetries() {
+			h.fctr.failures.Inc()
+			h.fail(cmd, nil, &NetError{Op: "send", Src: cmd.Src, Dst: cmd.Dst, Tag: cmd.Tag,
+				Bytes: n, Attempts: attempt, At: h.Eng.Now()})
+			return
+		}
+		h.fctr.retries.Inc()
+		shift := attempt
+		if shift > 20 {
+			shift = 20 // keep the doubling bounded
+		}
+		start := h.Eng.Now()
+		h.Eng.After(h.netBackoff()<<uint(shift), func() {
+			if h.OnFault != nil {
+				h.OnFault("retry", cmd.Src, start, h.Eng.Now())
+			}
+			h.netInject(cmd, m, dst, n, attempt+1)
+		})
+		return
+	}
+	end := h.Fab.NetSendAsync(h.Node, dst.Node, n)
+	h.Eng.At(end, func() {
 		cmd.Done.Fire()
 		dst.deliver(m)
 	})
@@ -122,6 +166,8 @@ func (h *Hub) deliver(m *netMsg) {
 
 // PostNetRecv submits a receive for an internode (or any-source) message.
 // The caller pays the MPI call overhead; matching happens in the handler.
+// A positive Config.NetTimeout arms a deadline: a receive still unmatched
+// when it elapses fails with a *NetError instead of blocking forever.
 func (h *Hub) PostNetRecv(p *sim.Proc, cmd *Cmd) {
 	if h.serial != nil {
 		h.serial.Acquire(p)
@@ -131,6 +177,9 @@ func (h *Hub) PostNetRecv(p *sim.Proc, cmd *Cmd) {
 	}
 	if h.serial != nil {
 		h.serial.Release()
+	}
+	if h.Cfg.NetTimeout > 0 {
+		h.Eng.After(h.Cfg.NetTimeout, func() { h.timeoutRecv(cmd) })
 	}
 	h.intraQ.Push(cmd)
 	h.ctr.intraQueuePeak.SetMax(float64(h.intraQ.Len()))
@@ -155,6 +204,7 @@ func (h *Hub) handleNet(m *netMsg) {
 // message handler thread calls cuMemcpyAsync ... to write data to the
 // device memory"), then the payload lands and Done fires.
 func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
+	recv.matched = true
 	if recv.Bytes < m.Bytes {
 		h.fail(nil, recv, fmt.Errorf("msg: truncation: recv %d bytes < message %d", recv.Bytes, m.Bytes))
 		return
@@ -164,7 +214,6 @@ func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
 	}
 	recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, m.Bytes
 	if m.Bytes == 0 {
-		recv.MatchedSrc, recv.MatchedTag, recv.MatchedBytes = m.Src, m.Tag, 0
 		h.ctr.netIn.Inc()
 		recv.Done.Fire()
 		return
@@ -204,19 +253,19 @@ func (h *Hub) completeNet(m *netMsg, recv *Cmd) {
 	})
 }
 
-// landPayload writes the message data into the receive buffer, preferring
-// the eager snapshot and falling back to the live source space.
+// landPayload writes the eager snapshot into the receive buffer. The live
+// source space is never read here: the sender's Done fired when the message
+// left the wire, so its buffer may already hold new data (the stale-read
+// hazard). A backed destination with no snapshot means the send side was
+// unbacked — a timing-only pairing — and there is nothing to land.
 func (h *Hub) landPayload(m *netMsg, recv *Cmd, n int64) error {
 	db, err := recv.Ep.Space.Bytes(recv.Addr, n)
 	if err != nil {
 		return err
 	}
-	if db == nil {
-		return nil // unbacked: timing-only run
+	if db == nil || m.snapshot == nil {
+		return nil // unbacked on either side: timing-only run
 	}
-	if m.snapshot != nil {
-		copy(db, m.snapshot)
-		return nil
-	}
-	return xmem.CopyBetween(recv.Ep.Space, recv.Addr, m.SrcEp.Space, m.SrcAddr, n)
+	copy(db, m.snapshot)
+	return nil
 }

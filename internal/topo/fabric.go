@@ -20,7 +20,23 @@ type Fabric struct {
 	Eng *sim.Engine
 	Sys *System
 
+	// Faults, when set, perturbs internode transfer pricing: link
+	// degradation stretches NIC occupancy, NIC stalls delay injection.
+	// The internal/fault package's Plan satisfies it.
+	Faults NetFaults
+
 	nodes []*NodeRes
+}
+
+// NetFaults is the slice of a chaos plan the fabric consults when pricing
+// internode transfers.
+type NetFaults interface {
+	// LinkFactor returns the bandwidth-degradation multiplier (>= 1)
+	// applied to node's NIC at virtual time at.
+	LinkFactor(node int, at sim.Time) float64
+	// SendStall returns an injection delay charged before node's NIC
+	// accepts a transfer at virtual time at (zero when no stall fires).
+	SendStall(node int, at sim.Time) sim.Dur
 }
 
 // NodeRes holds the materialized shared resources of one node.
@@ -210,6 +226,13 @@ func (f *Fabric) NetSendAsync(srcNode, dstNode int, n int64) sim.Time {
 	link := src.NIC.Link
 	occupy := link.Occupy(n)
 	tail := link.Latency + link.SWOverhead
+	if f.Faults != nil {
+		now := f.Eng.Now()
+		if factor := f.Faults.LinkFactor(srcNode, now); factor > 1 {
+			occupy = sim.Dur(float64(occupy) * factor)
+		}
+		tail += f.Faults.SendStall(srcNode, now)
+	}
 	_, end := sim.CoUseAsync(occupy, f.nodes[srcNode].NICOut, f.nodes[dstNode].NICIn)
 	return end + sim.Time(tail)
 }
