@@ -23,6 +23,7 @@ import (
 	"impacc/internal/bench"
 	"impacc/internal/fault"
 	"impacc/internal/prof"
+	"impacc/internal/sim"
 	"impacc/internal/telemetry"
 )
 
@@ -46,6 +47,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		chaos   = fs.String("chaos", "", "deterministic fault injection applied to every run, seed:spec (see impacc-run -chaos)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
+
+		maxVTime  = fs.String("max-vtime", "", "fail any leaf run past this much virtual time (e.g. 2s; 0 = unlimited)")
+		maxEvents = fs.Int64("max-events", 0, "fail any leaf run past this many simulation events (0 = unlimited)")
+		maxAlloc  = fs.Int64("max-alloc", 0, "fail any leaf run past this many task heap bytes (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,6 +109,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := bench.Options{Quick: *quick}.WithJobs(*jobs)
+	if *maxVTime != "" {
+		d, err := sim.ParseDur(*maxVTime)
+		if err != nil {
+			fmt.Fprintf(stderr, "impacc-bench: max-vtime: %v\n", err)
+			return 2
+		}
+		opt.Limits.MaxVirtualTime = d
+	}
+	opt.Limits.MaxEvents = *maxEvents
+	opt.Limits.MaxAllocBytes = *maxAlloc
 	if *chaos != "" {
 		spec, err := fault.ParseSpec(*chaos)
 		if err != nil {

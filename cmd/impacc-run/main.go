@@ -16,12 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"impacc/internal/apps"
 	"impacc/internal/core"
 	"impacc/internal/fault"
+	"impacc/internal/sim"
 	"impacc/internal/telemetry"
 	"impacc/internal/topo"
 )
@@ -35,32 +35,7 @@ func parseSystem(s string) (*topo.System, error) {
 		defer f.Close()
 		return topo.LoadSystem(f)
 	}
-	name, arg, hasArg := strings.Cut(s, ":")
-	n := 0
-	if hasArg {
-		v, err := strconv.Atoi(arg)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad node count %q", arg)
-		}
-		n = v
-	}
-	switch name {
-	case "psg":
-		return topo.PSG(), nil
-	case "beacon":
-		if n == 0 {
-			n = 2
-		}
-		return topo.Beacon(n), nil
-	case "titan":
-		if n == 0 {
-			n = 2
-		}
-		return topo.Titan(n), nil
-	case "hetero":
-		return topo.HeteroDemo(), nil
-	}
-	return nil, fmt.Errorf("unknown system %q (psg, beacon:N, titan:N, hetero, or a .json config)", name)
+	return topo.Preset(s)
 }
 
 func parseStyle(s string) (apps.Style, error) {
@@ -102,6 +77,10 @@ func main() {
 		report  = flag.String("report", "", "write the full run report as JSON to this file")
 		metrics = flag.String("metrics", "", "write the run's telemetry snapshot to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 		chaos   = flag.String("chaos", "", "deterministic fault injection, seed:spec (e.g. '7:degrade=*:4,rdmaflap=1:2ms:500us,straggle=0:1.5')")
+
+		maxVTime  = flag.String("max-vtime", "", "fail the run past this much virtual time (e.g. 2s, 500ms; 0 = unlimited)")
+		maxEvents = flag.Int64("max-events", 0, "fail the run past this many simulation events (0 = unlimited)")
+		maxAlloc  = flag.Int64("max-alloc", 0, "fail the run past this many task heap bytes (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -138,6 +117,13 @@ func main() {
 		cfg.Chaos, err = fault.ParseSpec(*chaos)
 		fatal(err)
 	}
+	if *maxVTime != "" {
+		d, err := sim.ParseDur(*maxVTime)
+		fatal(err)
+		cfg.Limits.MaxVirtualTime = d
+	}
+	cfg.Limits.MaxEvents = *maxEvents
+	cfg.Limits.MaxAllocBytes = *maxAlloc
 	if *trace != "" || *profile != "" {
 		cfg.Trace = core.NewTracer()
 	}

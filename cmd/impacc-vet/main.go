@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"impacc/internal/analysis"
@@ -85,7 +86,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%s: %s: %s\n", relPos(cwd, d.Pos), d.Analyzer, d.Message)
 	}
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, stdout, cwd, diags); err != nil {
+		if err := writeJSON(*jsonOut, stdout, cwd, pkgs, diags); err != nil {
 			fmt.Fprintf(stderr, "impacc-vet: %v\n", err)
 			return 2
 		}
@@ -123,7 +124,18 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-func writeJSON(path string, stdout io.Writer, cwd string, diags []analysis.Diagnostic) error {
+func writeJSON(path string, stdout io.Writer, cwd string, pkgs []*analysis.Package, diags []analysis.Diagnostic) error {
+	// The analyzed-package list makes coverage auditable: the tree gate
+	// asserts new packages appear here, so nothing ships outside the vet
+	// net by accident.
+	packages := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		packages = append(packages, p.ImportPath)
+	}
+	sort.Strings(packages)
 	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
 		file := d.Pos.Filename
@@ -139,8 +151,9 @@ func writeJSON(path string, stdout io.Writer, cwd string, diags []analysis.Diagn
 		})
 	}
 	out := struct {
+		Packages []string      `json:"packages"`
 		Findings []jsonFinding `json:"findings"`
-	}{findings}
+	}{packages, findings}
 	var w io.Writer
 	if path == "-" {
 		w = stdout

@@ -32,6 +32,7 @@ func TestTreeClean(t *testing.T) {
 	}
 	// The findings block is the tail of stdout (after zero finding lines).
 	var report struct {
+		Packages []string `json:"packages"`
 		Findings []struct {
 			Analyzer string `json:"analyzer"`
 		} `json:"findings"`
@@ -41,6 +42,25 @@ func TestTreeClean(t *testing.T) {
 	}
 	if len(report.Findings) != 0 {
 		t.Fatalf("clean run reported findings: %s", out.String())
+	}
+	// Coverage assertion: every package with its own determinism or
+	// wall-clock discipline story must be under the vet net. A package
+	// missing here was silently excluded from analysis.
+	covered := map[string]bool{}
+	for _, p := range report.Packages {
+		covered[p] = true
+	}
+	for _, want := range []string{
+		"impacc/internal/sim",
+		"impacc/internal/core",
+		"impacc/internal/bench",
+		"impacc/internal/fault",
+		"impacc/internal/serve",
+		"impacc/cmd/impacc-serve",
+	} {
+		if !covered[want] {
+			t.Errorf("package %s not analyzed (packages: %v)", want, report.Packages)
+		}
 	}
 }
 

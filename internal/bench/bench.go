@@ -37,6 +37,11 @@ type Options struct {
 	// spec to every run an experiment performs (each run instantiates a
 	// fresh plan, so serial and parallel sweeps stay byte-identical).
 	Chaos *fault.Spec
+	// Limits caps every leaf run's resources (virtual time, events, task
+	// heap). A run whose config sets its own Limits keeps them; otherwise
+	// these apply. Hitting a cap is deterministic and fails the experiment
+	// with a *sim.LimitError or *core.RunError.
+	Limits core.Limits
 
 	// gate, when non-nil, bounds concurrent simulations (see WithJobs).
 	gate chan struct{}

@@ -31,6 +31,9 @@ func runGated(opt Options, cfg core.Config, prog core.Program) (*core.Report, er
 		opt.gate <- struct{}{}
 		defer func() { <-opt.gate }()
 	}
+	if cfg.Limits == (core.Limits{}) {
+		cfg.Limits = opt.Limits
+	}
 	if opt.Prof != nil && cfg.Trace == nil {
 		cfg.Trace = core.NewTracer()
 	}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"impacc/internal/mpi"
+	"impacc/internal/sim"
+	"impacc/internal/telemetry"
+	"impacc/internal/topo"
+)
+
+// longProg keeps every task busy for iters rounds of compute + allreduce, so
+// a run lasts long enough (in virtual time and event count) to cancel or cap
+// mid-flight.
+func longProg(iters int) Program {
+	return func(tk *Task) {
+		buf := tk.Malloc(8)
+		defer tk.Free(buf)
+		v := tk.Floats(buf, 1)
+		for i := 0; i < iters; i++ {
+			v[0] = float64(tk.Rank() + i)
+			tk.Busy(10 * sim.Microsecond)
+			tk.Allreduce(buf, buf, 1, mpi.Float64, mpi.Sum)
+		}
+	}
+}
+
+// waitGoroutines lets unwound sim goroutines finish exiting before counting.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestRuntimeCancelMidRun: a cancel arriving mid-run surfaces as
+// *sim.CancelError, parks no goroutines, and merges nothing into a shared
+// registry — the contract impacc-serve's job killer depends on.
+func TestRuntimeCancelMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	shared := telemetry.NewRegistry()
+	cfg := Config{System: topo.Beacon(2), Backed: true, Metrics: shared}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic cancel instant: half a millisecond of virtual time in.
+	rt.Eng.At(sim.Time(500*sim.Microsecond), rt.Cancel)
+	_, err = rt.Execute(longProg(1000))
+	var ce *sim.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Execute = %v, want *sim.CancelError", err)
+	}
+	if snap := shared.Snapshot(0); len(snap.Families) != 0 {
+		t.Fatalf("cancelled run merged %d metric families into the shared registry", len(snap.Families))
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestCancelledRunResubmitsFresh: a run cancelled once leaves no residue —
+// the same config re-run to completion produces the same report as a config
+// that was never cancelled.
+func TestCancelledRunResubmitsFresh(t *testing.T) {
+	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 4}
+	render := func() []byte {
+		rep := mustRun(t, cfg, longProg(20))
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	want := render()
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Eng.At(sim.Time(100*sim.Microsecond), rt.Cancel)
+	if _, err := rt.Execute(longProg(20)); err == nil {
+		t.Fatal("expected cancel error")
+	}
+	if got := render(); string(got) != string(want) {
+		t.Fatal("re-run after a cancelled run diverged from the baseline report")
+	}
+}
+
+// TestRuntimeCancelFromWallClock: Cancel is safe from a foreign goroutine at
+// an arbitrary wall-clock instant (exercised under -race in CI). The result
+// is either a CancelError or — if the run won the race — a clean report; both
+// are valid, and either way no goroutines may leak.
+func TestRuntimeCancelFromWallClock(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 4}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(2 * time.Millisecond)
+		rt.Cancel()
+	}()
+	_, err = rt.Execute(longProg(5000))
+	<-done
+	var ce *sim.CancelError
+	if err != nil && !errors.As(err, &ce) {
+		t.Fatalf("Execute = %v, want nil or *sim.CancelError", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestLimitsMaxEvents(t *testing.T) {
+	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 4}
+	cfg.Limits.MaxEvents = 2000
+	_, err := Run(cfg, longProg(1000))
+	var le *sim.LimitError
+	if !errors.As(err, &le) || le.Resource != "events" {
+		t.Fatalf("Run = %v, want *sim.LimitError{events}", err)
+	}
+}
+
+func TestLimitsMaxVirtualTime(t *testing.T) {
+	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 4}
+	cfg.Limits.MaxVirtualTime = 200 * sim.Microsecond
+	_, err := Run(cfg, longProg(1000))
+	var le *sim.LimitError
+	if !errors.As(err, &le) || le.Resource != "vtime" {
+		t.Fatalf("Run = %v, want *sim.LimitError{vtime}", err)
+	}
+}
+
+func TestLimitsMaxAllocBytes(t *testing.T) {
+	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 1}
+	cfg.Limits.MaxAllocBytes = 1 << 10
+	_, err := Run(cfg, func(tk *Task) {
+		tk.Malloc(512)
+		tk.Malloc(1024) // 512 + 1024 > 1 KiB cap
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("Run = %v, want *RunError", err)
+	}
+	if !strings.Contains(re.Error(), "heap limit") {
+		t.Fatalf("error %q does not name the heap limit", re.Error())
+	}
+}
+
+// TestLimitsDeterministic: hitting a cap is itself deterministic — the same
+// config stops at the same virtual instant both times.
+func TestLimitsDeterministic(t *testing.T) {
+	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 4}
+	cfg.Limits.MaxEvents = 2000
+	halt := func() string {
+		_, err := Run(cfg, longProg(1000))
+		if err == nil {
+			t.Fatal("expected limit error")
+		}
+		return err.Error()
+	}
+	if a, b := halt(), halt(); a != b {
+		t.Fatalf("limit halt not deterministic:\n %s\n %s", a, b)
+	}
+}

@@ -80,6 +80,22 @@ type Overheads struct {
 	Alias   sim.Dur // applying node heap aliasing (default 1µs)
 }
 
+// Limits caps one run's resource consumption so a hosting tool (the bench
+// harness, impacc-serve) can bound runaway or abusive jobs. The zero value
+// means unlimited. Hitting a cap is deterministic — the same configuration
+// always stops at the same point — and surfaces as an error from Run, never
+// as a silently truncated report.
+type Limits struct {
+	// MaxVirtualTime fails the run with a *sim.LimitError once the virtual
+	// clock would pass it.
+	MaxVirtualTime sim.Dur
+	// MaxEvents fails the run after this many dispatched engine events.
+	MaxEvents int64
+	// MaxAllocBytes bounds the total task host-heap bytes (Task.Malloc)
+	// across all tasks; exceeding it fails the allocating task.
+	MaxAllocBytes int64
+}
+
 // Config describes one run.
 type Config struct {
 	System *topo.System
@@ -116,6 +132,9 @@ type Config struct {
 	// NIC send stalls, compute stragglers, transient device-copy failures,
 	// plus the matching resilience knobs (timeout, retries, backoff).
 	Chaos *fault.Spec
+	// Limits caps the run's virtual time, event count, and task heap; the
+	// zero value is unlimited.
+	Limits Limits
 }
 
 // validate normalizes and checks the configuration.

@@ -48,6 +48,9 @@ type Runtime struct {
 	// pairs are control information (the allgather still prices the wire
 	// exchange), keyed by (parent context id, split sequence).
 	splits map[[2]int]map[int][2]int
+	// allocBytes accumulates task host-heap allocations for the
+	// Limits.MaxAllocBytes cap. Mutated only from simulation context.
+	allocBytes int64
 }
 
 // depositSplit records one member's (color, key) for a split instance.
@@ -101,6 +104,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		// concurrent runs never contend) and merges it into cfg.Metrics
 		// when Execute finishes.
 		aggregate: cfg.Metrics,
+	}
+	if cfg.Limits.MaxVirtualTime > 0 {
+		rt.Eng.Deadline = sim.Time(cfg.Limits.MaxVirtualTime)
+	}
+	if cfg.Limits.MaxEvents > 0 {
+		rt.Eng.MaxEvents = uint64(cfg.Limits.MaxEvents)
 	}
 	rt.Fab = topo.NewFabric(rt.Eng, cfg.System)
 	if cfg.Chaos != nil {
@@ -175,6 +184,15 @@ func (rt *Runtime) pinSocket(pl Placement) int {
 // Tasks exposes the task list (for test instrumentation).
 func (rt *Runtime) Tasks() []*Task { return rt.tasks }
 
+// Cancel stops an Execute in flight as soon as the engine finishes its
+// current event; Execute then returns a *sim.CancelError. It is safe to
+// call from any goroutine at any time (it only flips an atomic flag), which
+// is what lets a serving layer kill abandoned jobs. A cancelled run merges
+// no telemetry into a shared aggregate registry (Config.Metrics): the
+// cancel instant comes from wall time, so partial counters would poison the
+// aggregate's determinism.
+func (rt *Runtime) Cancel() { rt.Eng.Cancel() }
+
 // Execute runs prog across all tasks to completion.
 func (rt *Runtime) Execute(prog Program) (*Report, error) {
 	defer rt.mergeMetrics()
@@ -217,9 +235,11 @@ func (rt *Runtime) Execute(prog Program) (*Report, error) {
 
 // mergeMetrics folds the run's private registry into the shared aggregate
 // (if any). Deferred from Execute so it runs after buildReport has recorded
-// end-of-run gauges, and on error paths too.
+// end-of-run gauges, and on error paths too — except after a cancel, whose
+// wall-clock-driven truncation point would make the merged partial counters
+// nondeterministic.
 func (rt *Runtime) mergeMetrics() {
-	if rt.aggregate != nil {
+	if rt.aggregate != nil && !rt.Eng.Cancelled() {
 		rt.aggregate.Merge(rt.Eng.Metrics)
 	}
 }

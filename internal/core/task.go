@@ -180,10 +180,15 @@ func (t *Task) checkRank(r int) {
 // allocation is hooked into the node heap table, making it a node heap
 // aliasing candidate (§3.8).
 func (t *Task) Malloc(n int64) xmem.Addr {
+	if lim := t.rt.Cfg.Limits.MaxAllocBytes; lim > 0 && t.rt.allocBytes+n > lim {
+		t.failf("core: task heap limit exceeded: %d + %d bytes > cap %d",
+			t.rt.allocBytes, n, lim)
+	}
 	addr, err := t.space.AllocHost(n, t.rt.Cfg.Backed)
 	if err != nil {
 		t.fail(err)
 	}
+	t.rt.allocBytes += n
 	if t.rt.Cfg.Mode == IMPACC {
 		t.node.heap.Register(addr, n, t.rank)
 	}

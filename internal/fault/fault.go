@@ -106,13 +106,67 @@ type Spec struct {
 	retries     int
 	backoff     sim.Dur
 	copyRetries int
-
-	// source keeps the original text for String/reports.
-	source string
 }
 
-// String returns the parseable form the spec was built from.
-func (s *Spec) String() string { return s.source }
+// String renders the spec in a canonical parseable form: rules grouped in a
+// fixed kind order (degrade, flap/rdmaflap, stall, straggle, copyfail),
+// original relative order preserved within each group, then the explicitly
+// set resilience knobs. ParseSpec(s.String()) reproduces s exactly for
+// every rule kind and knob — see TestSpecStringRoundTrip — which is what
+// lets chaos specs participate in content-addressed cache keys and be
+// echoed verbatim in job status.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	node := func(n int) string {
+		if n < 0 {
+			return "*"
+		}
+		return strconv.Itoa(n)
+	}
+	num := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	win := func(w window) string {
+		switch {
+		case w.End > 0:
+			return ":" + sim.FormatDur(sim.Dur(w.Start)) + ":" + sim.FormatDur(sim.Dur(w.End))
+		case w.Start > 0:
+			return ":" + sim.FormatDur(sim.Dur(w.Start))
+		default:
+			return ""
+		}
+	}
+	var rules []string
+	for _, d := range s.degrades {
+		rules = append(rules, "degrade="+node(d.node)+":"+num(d.factor)+win(d.win))
+	}
+	for _, f := range s.flaps {
+		name := "flap"
+		if f.rdmaOnly {
+			name = "rdmaflap"
+		}
+		rules = append(rules, name+"="+node(f.node)+":"+sim.FormatDur(f.period)+":"+sim.FormatDur(f.down))
+	}
+	for _, st := range s.stalls {
+		rules = append(rules, "stall="+node(st.node)+":"+num(st.prob)+":"+sim.FormatDur(st.dur))
+	}
+	for _, st := range s.straggles {
+		rules = append(rules, "straggle="+node(st.node)+":"+num(st.factor)+win(st.win))
+	}
+	for _, c := range s.copyFails {
+		rules = append(rules, "copyfail="+node(c.node)+":"+num(c.prob))
+	}
+	if s.timeout > 0 {
+		rules = append(rules, "timeout="+sim.FormatDur(s.timeout))
+	}
+	if s.retries > 0 {
+		rules = append(rules, "retries="+strconv.Itoa(s.retries))
+	}
+	if s.backoff > 0 {
+		rules = append(rules, "backoff="+sim.FormatDur(s.backoff))
+	}
+	return strconv.FormatUint(s.Seed, 10) + ":" + strings.Join(rules, ",")
+}
 
 // Timeout is the per-command internode receive timeout.
 func (s *Spec) Timeout() sim.Dur {
@@ -139,25 +193,14 @@ func (s *Spec) Backoff() sim.Dur {
 }
 
 // parseDur parses a duration literal like 250ns, 10us, 3ms, 1.5s into
-// virtual time. A dedicated parser (rather than time.ParseDuration) keeps
-// the package free of the time package entirely.
+// virtual time, via the shared grammar in sim (the same one FormatDur
+// inverts, so canonical String() output always re-parses).
 func parseDur(s string) (sim.Dur, error) {
-	units := []struct {
-		suffix string
-		scale  float64
-	}{
-		{"ns", 1}, {"us", 1e3}, {"µs", 1e3}, {"ms", 1e6}, {"s", 1e9},
+	d, err := sim.ParseDur(s)
+	if err != nil {
+		return 0, fmt.Errorf("fault: bad duration %q", s)
 	}
-	for _, u := range units {
-		if strings.HasSuffix(s, u.suffix) {
-			v, err := strconv.ParseFloat(strings.TrimSuffix(s, u.suffix), 64)
-			if err != nil || v < 0 {
-				return 0, fmt.Errorf("fault: bad duration %q", s)
-			}
-			return sim.Dur(v * u.scale), nil
-		}
-	}
-	return 0, fmt.Errorf("fault: duration %q needs a unit (ns, us, ms, s)", s)
+	return d, nil
 }
 
 // parseNode parses a node selector: * for every node, else an index.
@@ -220,7 +263,7 @@ func ParseSpec(text string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fault: bad seed %q: %v", seedStr, err)
 	}
-	sp := &Spec{Seed: seed, source: text}
+	sp := &Spec{Seed: seed}
 	for _, rule := range strings.Split(rules, ",") {
 		rule = strings.TrimSpace(rule)
 		if rule == "" {

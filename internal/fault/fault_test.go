@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"reflect"
 	"testing"
 
 	"impacc/internal/sim"
@@ -30,7 +31,67 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("rule counts: %+v", sp)
 	}
 	if sp.String() == "" {
-		t.Fatal("String() lost the source text")
+		t.Fatal("String() lost the spec")
+	}
+}
+
+// TestSpecStringRoundTrip: ParseSpec(sp.String()) must reproduce sp exactly
+// for every rule kind and every knob — the property that lets chaos specs
+// participate in content-addressed cache keys and be echoed in job status.
+func TestSpecStringRoundTrip(t *testing.T) {
+	cases := []string{
+		// each rule kind alone, with every optional field exercised
+		"1:degrade=*:4",
+		"1:degrade=2:1.5:1ms",
+		"1:degrade=0:2:500us:2ms",
+		"1:flap=*:2ms:500us",
+		"1:flap=3:1s:250ms",
+		"1:rdmaflap=1:2ms:500us",
+		"1:stall=0:0.5:10us",
+		"1:stall=*:0.125:1500ns",
+		"1:straggle=*:2",
+		"1:straggle=0:1.5:1ms:5ms",
+		"1:copyfail=*:0.25",
+		"1:copyfail=7:1",
+		// each knob alone
+		"1:timeout=2ms",
+		"1:retries=6",
+		"1:backoff=50us",
+		// everything at once, deliberately out of canonical order
+		"42:backoff=50us,copyfail=*:0.25,straggle=0:1.5,stall=0:0.5:10us," +
+			"rdmaflap=*:1ms:100us,flap=1:2ms:500us,degrade=*:4:1ms:5ms,timeout=2ms,retries=6",
+		// duplicate kinds: relative order within a kind must survive
+		"9:straggle=*:1.5,straggle=0:2,degrade=0:2,degrade=1:3",
+		// fractional durations that still have an exact ns form
+		"3:stall=0:0.5:1.5us,flap=0:1.5ms:0.5ms",
+	}
+	for _, text := range cases {
+		sp1 := mustParse(t, text)
+		canon := sp1.String()
+		sp2, err := ParseSpec(canon)
+		if err != nil {
+			t.Errorf("ParseSpec(%q).String() = %q does not re-parse: %v", text, canon, err)
+			continue
+		}
+		if !reflect.DeepEqual(sp1, sp2) {
+			t.Errorf("round trip of %q not identity:\n canon %q\n sp1 %+v\n sp2 %+v", text, canon, sp1, sp2)
+		}
+		if again := sp2.String(); again != canon {
+			t.Errorf("String not a fixed point for %q: %q then %q", text, canon, again)
+		}
+	}
+}
+
+// TestSpecStringCanonicalOrder: two textual orderings of the same rules
+// within a kind group plus knobs must render identically.
+func TestSpecStringCanonicalOrder(t *testing.T) {
+	a := mustParse(t, "5:retries=3,copyfail=*:0.5,degrade=0:2")
+	b := mustParse(t, "5:degrade=0:2,copyfail=*:0.5,retries=3")
+	if a.String() != b.String() {
+		t.Fatalf("knob/rule ordering leaked into canonical form:\n %q\n %q", a.String(), b.String())
+	}
+	if a.String() != "5:degrade=0:2,copyfail=*:0.5,retries=3" {
+		t.Fatalf("unexpected canonical form %q", a.String())
 	}
 }
 

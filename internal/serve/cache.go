@@ -1,0 +1,128 @@
+package serve
+
+// Result holds the rendered artifacts of one successful run. Artifacts are
+// rendered exactly once, when the run completes; every later request serves
+// these bytes verbatim, which is what makes a cache hit byte-identical to
+// the original miss.
+type Result struct {
+	ReportJSON  []byte // full report, indented JSON (impacc-run -report format)
+	ReportText  []byte // human-readable summary (Report.Print)
+	ProfileJSON []byte // mpiP-style profile (nil when the run was not traced)
+	TraceJSON   []byte // Chrome trace (view in Perfetto)
+}
+
+// bytes is the result's accounting size for the cache's byte bound.
+func (r *Result) bytes() int64 {
+	return int64(len(r.ReportJSON) + len(r.ReportText) + len(r.ProfileJSON) + len(r.TraceJSON))
+}
+
+// lruCache is a byte-bounded LRU over job results, hand-rolled on a
+// doubly-linked list so iteration order is explicit (no map-order
+// dependence anywhere near output paths). It is not goroutine-safe; the
+// server guards it with its own mutex.
+type lruCache struct {
+	maxBytes int64
+	size     int64
+	entries  map[string]*lruEntry
+	// head is most recently used, tail least. Sentinel-free: nil ends.
+	head, tail *lruEntry
+	// onEvict, when set, observes each eviction (for telemetry).
+	onEvict func(key string, res *Result)
+}
+
+type lruEntry struct {
+	key        string
+	res        *Result
+	prev, next *lruEntry
+}
+
+func newLRUCache(maxBytes int64) *lruCache {
+	return &lruCache{maxBytes: maxBytes, entries: map[string]*lruEntry{}}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *lruCache) get(key string) *Result {
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	c.moveToFront(e)
+	return e.res
+}
+
+// put inserts (or replaces) a result and evicts from the tail until the
+// byte bound holds again. A result larger than the whole bound is still
+// admitted (then immediately evictable): rejecting it would make the job
+// permanently unservable.
+func (c *lruCache) put(key string, res *Result) {
+	if e := c.entries[key]; e != nil {
+		c.size += res.bytes() - e.res.bytes()
+		e.res = res
+		c.moveToFront(e)
+	} else {
+		e = &lruEntry{key: key, res: res}
+		c.entries[key] = e
+		c.pushFront(e)
+		c.size += res.bytes()
+	}
+	for c.size > c.maxBytes && c.tail != nil && c.tail.key != key {
+		c.evict(c.tail)
+	}
+}
+
+// remove drops an entry (explicit invalidation; not counted as an eviction).
+func (c *lruCache) remove(key string) bool {
+	e := c.entries[key]
+	if e == nil {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.size -= e.res.bytes()
+	return true
+}
+
+func (c *lruCache) len() int     { return len(c.entries) }
+func (c *lruCache) bytes() int64 { return c.size }
+
+func (c *lruCache) evict(e *lruEntry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.size -= e.res.bytes()
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.res)
+	}
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDur parses a duration literal like 250ns, 10us, 3ms, 1.5s into
+// virtual time. It is the inverse of FormatDur and the shared grammar for
+// every textual surface that names virtual durations (the -chaos spec, the
+// CLI resource caps, the serve job API). A dedicated parser — rather than
+// time.ParseDuration — keeps deterministic packages free of the time
+// package entirely.
+func ParseDur(s string) (Dur, error) {
+	units := []struct {
+		suffix string
+		scale  float64
+	}{
+		{"ns", 1}, {"us", 1e3}, {"µs", 1e3}, {"ms", 1e6}, {"s", 1e9},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(s, u.suffix), 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("sim: bad duration %q", s)
+			}
+			return Dur(v * u.scale), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: duration %q needs a unit (ns, us, ms, s)", s)
+}
+
+// FormatDur renders d with the largest unit that divides it exactly, so
+// ParseDur(FormatDur(d)) == d for every non-negative duration. Unlike
+// Dur.String (which rounds for human display), this form is loss-free and
+// safe to embed in canonical encodings and cache keys.
+func FormatDur(d Dur) string {
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d%Second == 0:
+		return fmt.Sprintf("%ds", int64(d/Second))
+	case d%Millisecond == 0:
+		return fmt.Sprintf("%dms", int64(d/Millisecond))
+	case d%Microsecond == 0:
+		return fmt.Sprintf("%dus", int64(d/Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"impacc/internal/telemetry"
 )
@@ -116,8 +117,23 @@ type Engine struct {
 	panicked  *PanicError
 
 	// MaxTime, when non-zero, stops the run once the clock would pass it.
-	// An event scheduled exactly at MaxTime still runs.
+	// An event scheduled exactly at MaxTime still runs. The truncation is
+	// silent: Run returns nil (tools use this for "simulate this long").
 	MaxTime Time
+
+	// Deadline, when non-zero, is a hard virtual-time cap: like MaxTime,
+	// but exceeding it is an error — Run returns a *LimitError. Hosting
+	// tools (the bench harness, impacc-serve) use it to kill runaway jobs.
+	Deadline Time
+	// MaxEvents, when non-zero, bounds the number of dispatched events;
+	// exceeding it makes Run return a *LimitError.
+	MaxEvents uint64
+	// dispatched counts events dispatched so far (see Events).
+	dispatched uint64
+	// cancelled is set by Cancel — the only engine field touched from
+	// outside the simulation goroutine, hence atomic. The run loop polls
+	// it before every dispatch.
+	cancelled atomic.Bool
 
 	// Metrics is the engine's telemetry registry. Every FIFOResource
 	// reports occupancy into it, and higher layers (fabric, devices,
@@ -148,6 +164,20 @@ func (e *Engine) Now() Time { return e.now }
 
 // Live reports how many spawned processes have not yet finished.
 func (e *Engine) Live() int { return e.live }
+
+// Events reports how many events the engine has dispatched so far.
+func (e *Engine) Events() uint64 { return e.dispatched }
+
+// Cancel asks a running engine to stop. It is the one engine entry point
+// that is safe to call from any goroutine at any time: it only sets an
+// atomic flag, which the run loop polls before each dispatch. Run then
+// unwinds every unfinished process (defers run, no goroutines leak) and
+// returns a *CancelError. Cancelling an engine that never runs again is a
+// no-op beyond marking it cancelled.
+func (e *Engine) Cancel() { e.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel has been called.
+func (e *Engine) Cancelled() bool { return e.cancelled.Load() }
 
 // alloc takes an event struct off the freelist, or makes one.
 func (e *Engine) alloc() *event {
@@ -393,6 +423,32 @@ func (p *Proc) Yield() {
 	p.park("yield")
 }
 
+// CancelError reports that the run was stopped by Engine.Cancel before its
+// event queue drained. The engine still unwound every process, so the halt
+// is clean — but nothing about the truncated run (telemetry, reports) is
+// deterministic, because the cancel instant came from outside virtual time.
+type CancelError struct {
+	At Time // virtual time at which the cancel was observed
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("sim: run cancelled at t=%v", Dur(e.At))
+}
+
+// LimitError reports that a configured resource cap (Engine.Deadline or
+// Engine.MaxEvents) stopped the run. Unlike a cancel, hitting a limit is
+// deterministic: the same run with the same caps always stops at the same
+// event.
+type LimitError struct {
+	Resource string // "vtime" or "events"
+	Limit    int64  // the configured cap
+	At       Time   // virtual time at which the cap was hit
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("sim: %s limit %d exceeded at t=%v", e.Resource, e.Limit, Dur(e.At))
+}
+
 // DeadlockError reports that the run ended with live processes blocked on
 // conditions that can never fire.
 type DeadlockError struct {
@@ -415,7 +471,18 @@ func (e *DeadlockError) Error() string {
 // swallowed by the engine, so no goroutines leak and tools may run many
 // engines in one process.
 func (e *Engine) Run() error {
+	var stopErr error
 	for !e.halted {
+		if e.cancelled.Load() {
+			stopErr = &CancelError{At: e.now}
+			e.halted = true
+			goto done
+		}
+		if e.MaxEvents != 0 && e.dispatched >= e.MaxEvents {
+			stopErr = &LimitError{Resource: "events", Limit: int64(e.MaxEvents), At: e.now}
+			e.halted = true
+			goto done
+		}
 		var ev *event
 		switch {
 		case len(e.heap) > 0 && e.heap[0].at == e.now:
@@ -435,6 +502,12 @@ func (e *Engine) Run() error {
 				goto done
 			}
 			ev = e.popHeap()
+			if e.Deadline != 0 && ev.at > e.Deadline {
+				e.free(ev)
+				stopErr = &LimitError{Resource: "vtime", Limit: int64(e.Deadline), At: e.now}
+				e.halted = true
+				goto done
+			}
 			if e.MaxTime != 0 && ev.at > e.MaxTime {
 				e.free(ev)
 				e.halted = true
@@ -447,6 +520,7 @@ func (e *Engine) Run() error {
 			// schedule, which reuses pooled events.
 			p, fn := ev.proc, ev.fn
 			e.free(ev)
+			e.dispatched++
 			if p != nil {
 				if !p.done { // lazy cancellation: skip dead processes
 					e.runProc(p)
@@ -460,6 +534,8 @@ done:
 	var err error
 	if e.panicked != nil {
 		err = e.panicked
+	} else if stopErr != nil {
+		err = stopErr
 	} else if e.live > 0 && !e.halted {
 		var blocked []string
 		for _, p := range e.procs {

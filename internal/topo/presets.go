@@ -1,6 +1,43 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Preset resolves a textual system selector — "psg", "beacon:N", "titan:N",
+// "hetero" — into a cluster description. The bare names "beacon" and
+// "titan" default to 2 nodes. It is the shared grammar behind the CLIs'
+// -system flags and the serve job API's "system" field.
+func Preset(sel string) (*System, error) {
+	name, arg, hasArg := strings.Cut(sel, ":")
+	n := 0
+	if hasArg {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("topo: bad node count %q in system %q", arg, sel)
+		}
+		n = v
+	}
+	switch name {
+	case "psg":
+		return PSG(), nil
+	case "beacon":
+		if n == 0 {
+			n = 2
+		}
+		return Beacon(n), nil
+	case "titan":
+		if n == 0 {
+			n = 2
+		}
+		return Titan(n), nil
+	case "hetero":
+		return HeteroDemo(), nil
+	}
+	return nil, fmt.Errorf("topo: unknown system %q (psg, beacon:N, titan:N, hetero)", sel)
+}
 
 // Presets for the three evaluation systems of Table 1 plus the
 // heterogeneous demo cluster of Figure 2. Rates are calibrated so the
