@@ -44,6 +44,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		metrics = fs.String("metrics", "", "write the aggregate telemetry of every run to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 		profile = fs.String("prof", "", "trace every run and write the aggregate profile (critical path, top sites) to this file (JSON if it ends in .json, text otherwise)")
 		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "run up to N simulations concurrently (output stays byte-identical)")
+		parSim  = fs.Int("par-sim", 1, "worker threads inside each simulation's sharded engine (output stays byte-identical)")
 		chaos   = fs.String("chaos", "", "deterministic fault injection applied to every run, seed:spec (see impacc-run -chaos)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
@@ -108,7 +109,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	opt := bench.Options{Quick: *quick}.WithJobs(*jobs)
+	opt := bench.Options{Quick: *quick, ParSim: *parSim}.WithJobs(*jobs)
 	if *maxVTime != "" {
 		d, err := sim.ParseDur(*maxVTime)
 		if err != nil {

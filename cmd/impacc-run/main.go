@@ -77,6 +77,7 @@ func main() {
 		report  = flag.String("report", "", "write the full run report as JSON to this file")
 		metrics = flag.String("metrics", "", "write the run's telemetry snapshot to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 		chaos   = flag.String("chaos", "", "deterministic fault injection, seed:spec (e.g. '7:degrade=*:4,rdmaflap=1:2ms:500us,straggle=0:1.5')")
+		parSim  = flag.Int("par-sim", 1, "worker threads driving the sharded simulation engine (wall-clock only; any value produces byte-identical output)")
 
 		maxVTime  = flag.String("max-vtime", "", "fail the run past this much virtual time (e.g. 2s, 500ms; 0 = unlimited)")
 		maxEvents = flag.Int64("max-events", 0, "fail the run past this many simulation events (0 = unlimited)")
@@ -111,7 +112,7 @@ func main() {
 	fatal(err)
 	cfg := core.Config{
 		System: sys, Mode: m, MaxTasks: *tasks, DeviceTypes: mask,
-		Backed: *backed, Seed: *seed, JitterPct: 1,
+		Backed: *backed, Seed: *seed, JitterPct: 1, Parallel: *parSim,
 	}
 	if *chaos != "" {
 		cfg.Chaos, err = fault.ParseSpec(*chaos)

@@ -42,6 +42,11 @@ type Options struct {
 	// these apply. Hitting a cap is deterministic and fails the experiment
 	// with a *sim.LimitError or *core.RunError.
 	Limits core.Limits
+	// ParSim sets every leaf run's intra-run simulation worker count
+	// (core.Config.Parallel). Orthogonal to Jobs: Jobs runs whole sweep
+	// points concurrently, ParSim parallelizes inside one simulation. Like
+	// Jobs it never changes a simulated byte.
+	ParSim int
 
 	// gate, when non-nil, bounds concurrent simulations (see WithJobs).
 	gate chan struct{}
@@ -94,6 +99,7 @@ func baseCfg(opt Options, sys *topo.System, mode core.Mode, maxTasks int, backed
 		JitterPct: 1.0,
 		Metrics:   opt.Metrics,
 		Chaos:     opt.Chaos,
+		Parallel:  opt.ParSim,
 	}
 }
 

@@ -36,6 +36,33 @@ func BenchmarkFig9SweepQuickParallel(b *testing.B) {
 	}
 }
 
+// benchFig13ParSim times the quick Figure 13 Jacobi scaling study — whose
+// sweep points run on multi-node systems, so every simulation is sharded —
+// with a given intra-run worker count.
+func benchFig13ParSim(b *testing.B, parSim int) {
+	fig13, ok := ByID("fig13")
+	if !ok {
+		b.Fatal("fig13 not registered")
+	}
+	opt := Options{Quick: true, ParSim: parSim}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := fig13.Run(&buf, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13QuickParSim1 drives the sharded engines with one worker —
+// the single-core no-regression reference for the PDES path.
+func BenchmarkFig13QuickParSim1(b *testing.B) { benchFig13ParSim(b, 1) }
+
+// BenchmarkFig13QuickParSim8 drives them with eight workers: wall-clock
+// speedup on a multi-core host, coordination overhead on one core. The
+// output bytes are identical either way.
+func BenchmarkFig13QuickParSim8(b *testing.B) { benchFig13ParSim(b, 8) }
+
 // runAllQuick executes every experiment through RunMany and returns the
 // concatenated canonical output plus the aggregate telemetry as JSON.
 func runAllQuick(t *testing.T, jobs int) ([]byte, []byte) {

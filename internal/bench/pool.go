@@ -34,6 +34,9 @@ func runGated(opt Options, cfg core.Config, prog core.Program) (*core.Report, er
 	if cfg.Limits == (core.Limits{}) {
 		cfg.Limits = opt.Limits
 	}
+	if cfg.Parallel == 0 {
+		cfg.Parallel = opt.ParSim
+	}
 	if opt.Prof != nil && cfg.Trace == nil {
 		cfg.Trace = core.NewTracer()
 	}

@@ -135,6 +135,13 @@ type Config struct {
 	// Limits caps the run's virtual time, event count, and task heap; the
 	// zero value is unlimited.
 	Limits Limits
+	// Parallel is the number of worker threads driving the sharded
+	// simulation engine (intra-run parallelism). Like Trace and Metrics it
+	// changes how the run executes, never what it simulates: any worker
+	// count produces byte-identical reports, traces, and telemetry, so the
+	// field is excluded from the canonical content hash. Values below 1
+	// mean serial.
+	Parallel int
 }
 
 // validate normalizes and checks the configuration.

@@ -18,7 +18,7 @@ const MPILatencyNs = "core_mpi_latency_ns"
 func (t *Task) mpiObserve(op string, start sim.Time) {
 	h := t.mpiLat[op]
 	if h == nil {
-		h = t.rt.Eng.Metrics.Histogram(MPILatencyNs,
+		h = t.eng().Metrics.Histogram(MPILatencyNs,
 			"per-task MPI operation latency by op",
 			"rank", strconv.Itoa(t.rank), "op", op)
 		t.mpiLat[op] = h

@@ -88,7 +88,7 @@ func (t *Task) newCmd(isSend bool, buf xmem.Addr, bytes int64, src, dst, tag int
 	return &msg.Cmd{
 		IsSend: isSend, Src: src, Dst: dst, Tag: tag, Comm: o.comm,
 		Addr: buf, Bytes: bytes, Ep: t.ep, ReadOnly: o.readonly,
-		Done: t.rt.Eng.NewEvent(fmt.Sprintf("mpi-%d", t.rank)),
+		Done: t.eng().NewEvent(fmt.Sprintf("mpi-%d", t.rank)),
 	}
 }
 
@@ -301,7 +301,7 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 	if t.rt.Cfg.Mode == Legacy || !t.rt.feats.UnifiedQueue {
 		t.failf("async MPI (%s) requires the IMPACC unified activity queue", name)
 	}
-	op := &uqOp{proxy: t.rt.Eng.NewEvent(name + "-done")}
+	op := &uqOp{proxy: t.eng().NewEvent(name + "-done")}
 	hop := strings.TrimPrefix(name, "mpi_")
 	tr := t.rt.Cfg.Trace
 	t.env.Stream(q).EnqueueFunc(name, func(p *sim.Proc) {
@@ -312,7 +312,7 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 			// The queued operation observes its own command: its span is
 			// recorded on the stream lane under the command's trace ID, so
 			// message edges point at the stream activity, not the host.
-			tr.claim(cmd.TraceID, cmd.TraceID)
+			tr.claim(t.pl.Node, cmd.TraceID, cmd.TraceID)
 		}
 		cmd.Done.OnFire(func() {
 			// Latency of the queued op itself: from when the queue
@@ -325,7 +325,7 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 				}
 				tr.record(Span{ID: cmd.TraceID, Rank: t.rank, Node: t.pl.Node,
 					Stream: q, Kind: "mpi", Name: hop, Start: start,
-					End: t.rt.Eng.Now(), Bytes: bytes, Peer: peer})
+					End: t.eng().Now(), Bytes: bytes, Peer: peer})
 			}
 			op.proxy.Fire()
 		})
@@ -402,7 +402,7 @@ func (t *Task) Waitany(reqs ...*Request) int {
 			if r.done.Fired() {
 				if r.cmd != nil {
 					if tr := t.rt.Cfg.Trace; tr != nil && lastWait != 0 && r.cmd.TraceID != 0 {
-						tr.claim(r.cmd.TraceID, lastWait)
+						tr.claim(t.pl.Node, r.cmd.TraceID, lastWait)
 					}
 					t.checkCmd(r.cmd)
 				}
@@ -410,7 +410,7 @@ func (t *Task) Waitany(reqs ...*Request) int {
 			}
 		}
 		// Park until any one fires: register a shared wake.
-		any := t.rt.Eng.NewEvent("waitany")
+		any := t.eng().NewEvent("waitany")
 		for _, r := range reqs {
 			if r != nil {
 				r.done.OnFire(any.Fire)

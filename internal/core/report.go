@@ -105,8 +105,9 @@ func (rt *Runtime) buildReport() *Report {
 		}
 		r.Hubs = append(r.Hubs, hr)
 	}
-	rt.Fab.RecordUtilization(rt.Eng.Metrics, r.Elapsed)
-	r.Metrics = rt.Eng.Metrics.Snapshot(int64(rt.Eng.Now()))
+	reg := rt.runMetrics()
+	rt.Fab.RecordUtilization(reg, r.Elapsed)
+	r.Metrics = reg.Snapshot(int64(rt.group.MaxNow()))
 	if rt.Cfg.Trace != nil {
 		rt.Cfg.Trace.AttachMetrics(r.Metrics)
 		r.Prof = prof.Analyze(rt.Cfg.Trace.Data(sim.Time(r.Elapsed)), prof.DefaultTopSites)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"impacc/internal/device"
 	"impacc/internal/fault"
@@ -28,10 +30,20 @@ type nodeState struct {
 
 // Runtime executes one configured run.
 type Runtime struct {
-	Cfg   Config
+	Cfg Config
+	// Eng is node 0's engine — the only engine when the run is unsharded
+	// (single node, or no usable lookahead).
 	Eng   *sim.Engine
 	Fab   *topo.Fabric
 	feats Features
+
+	// shards are the distinct shard engines in shard order: one per node
+	// when the fabric offers a positive conservative lookahead, a single
+	// shared engine otherwise. group coordinates their windowed execution;
+	// Config.Parallel only sets the group's worker count and never changes
+	// a simulated byte (see internal/sim.ShardGroup).
+	shards []*sim.Engine
+	group  *sim.ShardGroup
 
 	nodes      map[int]*nodeState
 	tasks      []*Task
@@ -44,17 +56,28 @@ type Runtime struct {
 	// telemetry after Execute completes (mutex-guarded inside Merge, so
 	// many runs may share one aggregate concurrently).
 	aggregate *telemetry.Registry
+	// metrics is the run's merged registry — shard registries merged in
+	// shard order plus the fault plan's buffered counters — built once by
+	// runMetrics after the group run finishes.
+	metrics *telemetry.Registry
 	// splits carries Comm.Split group metadata out of band: the color/key
 	// pairs are control information (the allgather still prices the wire
-	// exchange), keyed by (parent context id, split sequence).
-	splits map[[2]int]map[int][2]int
+	// exchange), keyed by (parent context id, split sequence). splitMu makes
+	// the map safe across shards; ordering needs no lock because a member
+	// only reads the map after the allgather, whose internode messages land
+	// at least one lookahead window after every deposit.
+	splitMu sync.Mutex
+	splits  map[[2]int]map[int][2]int
 	// allocBytes accumulates task host-heap allocations for the
-	// Limits.MaxAllocBytes cap. Mutated only from simulation context.
-	allocBytes int64
+	// Limits.MaxAllocBytes cap, atomically since tasks allocate from
+	// concurrent shards.
+	allocBytes atomic.Int64
 }
 
 // depositSplit records one member's (color, key) for a split instance.
 func (rt *Runtime) depositSplit(commID, seq, commRank, color, key int) {
+	rt.splitMu.Lock()
+	defer rt.splitMu.Unlock()
 	if rt.splits == nil {
 		rt.splits = map[[2]int]map[int][2]int{}
 	}
@@ -67,6 +90,8 @@ func (rt *Runtime) depositSplit(commID, seq, commRank, color, key int) {
 
 // lookupSplit returns all deposited pairs for a split instance.
 func (rt *Runtime) lookupSplit(commID, seq int) map[int][2]int {
+	rt.splitMu.Lock()
+	defer rt.splitMu.Unlock()
 	return rt.splits[[2]int{commID, seq}]
 }
 
@@ -89,32 +114,57 @@ func Run(cfg Config, prog Program) (*Report, error) {
 	return rt.Execute(prog)
 }
 
-// NewRuntime validates cfg and materializes the engine, fabric, mapping,
-// per-node hubs, and tasks.
+// NewRuntime validates cfg and materializes the engines, fabric, mapping,
+// per-node hubs, and tasks. A multi-node system whose fabric offers a
+// positive conservative lookahead (see topo.System.MinNetLatency) is
+// sharded one engine per node; everything a node does — its tasks, hub,
+// device streams, shared links — runs on that node's engine, and only the
+// internode message path crosses engines.
 func NewRuntime(cfg Config) (*Runtime, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	rt := &Runtime{
 		Cfg:   cfg,
-		Eng:   sim.NewEngine(),
 		feats: cfg.features(),
 		nodes: map[int]*nodeState{},
-		// The engine keeps a private registry during the run (so
-		// concurrent runs never contend) and merges it into cfg.Metrics
-		// when Execute finishes.
+		// Each engine keeps a private registry during the run (so
+		// concurrent runs never contend); runMetrics merges them, and
+		// Execute folds the merge into cfg.Metrics when it finishes.
 		aggregate: cfg.Metrics,
 	}
+	nNodes := len(cfg.System.Nodes)
+	lookahead := cfg.System.MinNetLatency()
+	perNode := make([]*sim.Engine, nNodes)
+	if nNodes > 1 && lookahead > 0 {
+		rt.shards = make([]*sim.Engine, nNodes)
+		for i := range rt.shards {
+			rt.shards[i] = sim.NewLPEngine(i)
+			perNode[i] = rt.shards[i]
+		}
+	} else {
+		e := sim.NewEngine()
+		rt.shards = []*sim.Engine{e}
+		for i := range perNode {
+			perNode[i] = e
+		}
+		lookahead = 0
+	}
+	rt.Eng = perNode[0]
+	rt.group = sim.NewShardGroup(rt.shards, lookahead, cfg.Parallel)
 	if cfg.Limits.MaxVirtualTime > 0 {
-		rt.Eng.Deadline = sim.Time(cfg.Limits.MaxVirtualTime)
+		rt.group.Deadline = sim.Time(cfg.Limits.MaxVirtualTime)
 	}
 	if cfg.Limits.MaxEvents > 0 {
-		rt.Eng.MaxEvents = uint64(cfg.Limits.MaxEvents)
+		rt.group.MaxEvents = uint64(cfg.Limits.MaxEvents)
 	}
-	rt.Fab = topo.NewFabric(rt.Eng, cfg.System)
+	rt.Fab = topo.NewShardedFabric(perNode, cfg.System)
 	if cfg.Chaos != nil {
-		rt.faults = fault.NewPlan(cfg.Chaos, len(cfg.System.Nodes), rt.Eng.Metrics)
+		rt.faults = fault.NewPlan(cfg.Chaos, nNodes)
 		rt.Fab.Faults = rt.faults
+	}
+	if tr := cfg.Trace; tr != nil {
+		tr.Reserve(nNodes)
 	}
 	rt.placements = BuildMapping(cfg.System, cfg.DeviceTypes, cfg.MaxTasks)
 	if len(rt.placements) == 0 {
@@ -125,17 +175,20 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		ns, ok := rt.nodes[pl.Node]
 		if !ok {
 			heap := xmem.NewHeapTable()
+			neng := rt.Fab.Engine(pl.Node)
 			ns = &nodeState{
 				idx:   pl.Node,
 				heap:  heap,
-				hub:   msg.NewHub(rt.Eng, rt.Fab, pl.Node, mcfg, heap),
-				devrt: device.NewRuntime(rt.Eng, rt.Fab, pl.Node),
+				hub:   msg.NewHub(neng, rt.Fab, pl.Node, mcfg, heap),
+				devrt: device.NewRuntime(neng, rt.Fab, pl.Node),
 			}
 			if tr := cfg.Trace; tr != nil {
 				// Record the send→recv causal edge at the instant the hub
-				// matches the pair (intranode or internode).
+				// matches the pair (intranode or internode), on the
+				// matching node's trace lane.
+				node := pl.Node
 				ns.hub.OnMatch = func(sendID, recvID uint64, post sim.Time, bytes int64) {
-					tr.msgEdge(sendID, recvID, post, rt.Eng.Now(), bytes)
+					tr.msgEdge(node, sendID, recvID, post, neng.Now(), bytes)
 				}
 			}
 			if rt.faults != nil {
@@ -184,21 +237,21 @@ func (rt *Runtime) pinSocket(pl Placement) int {
 // Tasks exposes the task list (for test instrumentation).
 func (rt *Runtime) Tasks() []*Task { return rt.tasks }
 
-// Cancel stops an Execute in flight as soon as the engine finishes its
+// Cancel stops an Execute in flight as soon as every shard finishes its
 // current event; Execute then returns a *sim.CancelError. It is safe to
-// call from any goroutine at any time (it only flips an atomic flag), which
+// call from any goroutine at any time (it only flips atomic flags), which
 // is what lets a serving layer kill abandoned jobs. A cancelled run merges
 // no telemetry into a shared aggregate registry (Config.Metrics): the
 // cancel instant comes from wall time, so partial counters would poison the
 // aggregate's determinism.
-func (rt *Runtime) Cancel() { rt.Eng.Cancel() }
+func (rt *Runtime) Cancel() { rt.group.Cancel() }
 
 // Execute runs prog across all tasks to completion.
 func (rt *Runtime) Execute(prog Program) (*Report, error) {
 	defer rt.mergeMetrics()
 	for _, t := range rt.tasks {
 		t := t
-		rt.Eng.Spawn(fmt.Sprintf("task%d", t.rank), func(p *sim.Proc) {
+		rt.Fab.Engine(t.pl.Node).Spawn(fmt.Sprintf("task%d", t.rank), func(p *sim.Proc) {
 			t.proc = p
 			defer func() {
 				if r := recover(); r != nil {
@@ -221,7 +274,7 @@ func (rt *Runtime) Execute(prog Program) (*Report, error) {
 			prog(t)
 		})
 	}
-	simErr := rt.Eng.Run()
+	simErr := rt.group.Run()
 	for _, t := range rt.tasks {
 		if t.err != nil {
 			return nil, t.err
@@ -233,13 +286,42 @@ func (rt *Runtime) Execute(prog Program) (*Report, error) {
 	return rt.buildReport(), nil
 }
 
-// mergeMetrics folds the run's private registry into the shared aggregate
+// runMetrics returns the run's merged telemetry registry, building it on
+// first use: shard registries merge in shard order (their series are
+// disjoint — every family carries node, rank, or resource labels — so the
+// merge reproduces exactly what a single shared registry would hold), then
+// the fault plan flushes its buffered injection counters with their
+// recorded virtual-time stamps. The registry's clock reads the group's
+// final virtual time, so report-time gauges carry end-of-run stamps.
+func (rt *Runtime) runMetrics() *telemetry.Registry {
+	if rt.metrics == nil {
+		// Shard 0's registry is the merge target: its series are already
+		// registered, so a single-shard run merges nothing at all and a
+		// sharded run only pays for the other shards' series. Reuse is safe
+		// because the run is over (engines quiescent) and nothing reads the
+		// shard registries afterwards; the clock is repointed at the group's
+		// final virtual time so report-time gauges stamp like a single
+		// engine's would.
+		reg := rt.shards[0].Metrics
+		reg.SetClock(func() int64 { return int64(rt.group.MaxNow()) })
+		for _, e := range rt.shards[1:] {
+			reg.Merge(e.Metrics)
+		}
+		if rt.faults != nil {
+			rt.faults.FlushInto(reg)
+		}
+		rt.metrics = reg
+	}
+	return rt.metrics
+}
+
+// mergeMetrics folds the run's merged registry into the shared aggregate
 // (if any). Deferred from Execute so it runs after buildReport has recorded
 // end-of-run gauges, and on error paths too — except after a cancel, whose
 // wall-clock-driven truncation point would make the merged partial counters
 // nondeterministic.
 func (rt *Runtime) mergeMetrics() {
-	if rt.aggregate != nil && !rt.Eng.Cancelled() {
-		rt.aggregate.Merge(rt.Eng.Metrics)
+	if rt.aggregate != nil && !rt.group.Cancelled() {
+		rt.aggregate.Merge(rt.runMetrics())
 	}
 }

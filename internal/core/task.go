@@ -51,6 +51,10 @@ type Task struct {
 // dur converts an elapsed virtual-time difference to a duration.
 func dur(x sim.Time) sim.Dur { return sim.Dur(x) }
 
+// eng returns the engine hosting this task's node — the only engine a task
+// may create events on or read the clock from under sharded execution.
+func (t *Task) eng() *sim.Engine { return t.rt.Fab.Engine(t.pl.Node) }
+
 // taskSink adapts the tracer to device.TraceSink, stamping device spans
 // with the owning task's rank and node.
 type taskSink struct {
@@ -59,7 +63,7 @@ type taskSink struct {
 	node int
 }
 
-func (s *taskSink) NewID() uint64 { return s.tr.NewID() }
+func (s *taskSink) NewID() uint64 { return s.tr.laneID(s.node) }
 
 func (s *taskSink) Span(id uint64, stream int, kind, name string, start, end sim.Time, bytes int64) {
 	s.tr.record(Span{ID: id, Rank: s.rank, Node: s.node, Stream: stream,
@@ -67,7 +71,7 @@ func (s *taskSink) Span(id uint64, stream int, kind, name string, start, end sim
 }
 
 func (s *taskSink) Edge(kind string, from, to uint64, at sim.Time) {
-	s.tr.depEdge(kind, from, to, at)
+	s.tr.depEdge(s.node, kind, from, to, at)
 }
 
 // newTask wires one task's space, endpoint, device context, and ACC env.
@@ -180,15 +184,15 @@ func (t *Task) checkRank(r int) {
 // allocation is hooked into the node heap table, making it a node heap
 // aliasing candidate (§3.8).
 func (t *Task) Malloc(n int64) xmem.Addr {
-	if lim := t.rt.Cfg.Limits.MaxAllocBytes; lim > 0 && t.rt.allocBytes+n > lim {
+	total := t.rt.allocBytes.Add(n)
+	if lim := t.rt.Cfg.Limits.MaxAllocBytes; lim > 0 && total > lim {
 		t.failf("core: task heap limit exceeded: %d + %d bytes > cap %d",
-			t.rt.allocBytes, n, lim)
+			total-n, n, lim)
 	}
 	addr, err := t.space.AllocHost(n, t.rt.Cfg.Backed)
 	if err != nil {
 		t.fail(err)
 	}
-	t.rt.allocBytes += n
 	if t.rt.Cfg.Mode == IMPACC {
 		t.node.heap.Register(addr, n, t.rank)
 	}

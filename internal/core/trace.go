@@ -28,21 +28,57 @@ type rawEdge struct {
 	bytes    int64
 }
 
-// Tracer collects execution spans and causal edges when attached via
-// Config.Trace. The engine runs one process at a time, so appends need no
-// locking; spans are in completion order.
-type Tracer struct {
+// traceLane is the slice of the trace owned by one node. Under sharded
+// execution every node's events run on that node's engine, so routing each
+// append to the recording node's lane keeps the tracer lock-free: a lane is
+// only ever mutated from one goroutine at a time (its shard's worker), and
+// exports merge the lanes in node order after the run. Claims and pending
+// command IDs are rank-keyed and a rank lives on exactly one node, so they
+// shard along with the spans.
+type traceLane struct {
 	spans   []Span
 	edges   []rawEdge
 	nextID  uint64
 	claims  map[uint64]uint64 // command trace ID -> claiming span ID
 	pending map[int][]uint64  // rank -> posted, not-yet-claimed command IDs
+}
+
+// Tracer collects execution spans and causal edges when attached via
+// Config.Trace. Each node's activity lands in its own lane (see traceLane);
+// trace IDs embed the lane index so they stay unique and deterministic
+// without cross-shard coordination.
+type Tracer struct {
+	lanes   []*traceLane // indexed by node; lane 0 always exists
 	metrics *telemetry.Snapshot
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer {
-	return &Tracer{claims: map[uint64]uint64{}, pending: map[int][]uint64{}}
+	tr := &Tracer{}
+	tr.Reserve(1)
+	return tr
+}
+
+// Reserve sizes the tracer for nodes lanes. The runtime calls it before the
+// run starts; once concurrent shards are recording, the lane set must not
+// grow, so all growth happens here.
+func (tr *Tracer) Reserve(nodes int) {
+	for len(tr.lanes) < nodes {
+		tr.lanes = append(tr.lanes, &traceLane{
+			claims: map[uint64]uint64{}, pending: map[int][]uint64{}})
+	}
+}
+
+// lane returns node's lane, growing the set for direct single-threaded use
+// (tests construct tracers without a runtime).
+func (tr *Tracer) lane(node int) *traceLane {
+	if node < 0 {
+		node = 0
+	}
+	if node >= len(tr.lanes) {
+		tr.Reserve(node + 1)
+	}
+	return tr.lanes[node]
 }
 
 // AttachMetrics attaches a run-end metrics snapshot. WriteChromeTrace then
@@ -51,71 +87,99 @@ func NewTracer() *Tracer {
 // The runtime attaches the report snapshot automatically when tracing.
 func (tr *Tracer) AttachMetrics(snap *telemetry.Snapshot) { tr.metrics = snap }
 
-// NewID allocates a fresh trace ID. The engine is single-threaded, so a
-// plain counter is deterministic.
-func (tr *Tracer) NewID() uint64 {
-	tr.nextID++
-	return tr.nextID
+// laneID allocates a fresh trace ID on node's lane. Lane 0 issues the plain
+// counter (so single-node traces keep their historical IDs); other lanes
+// tag the counter with the node index in the high bits, keeping IDs unique
+// across lanes with no shared state.
+func (tr *Tracer) laneID(node int) uint64 {
+	l := tr.lane(node)
+	l.nextID++
+	if node <= 0 {
+		return l.nextID
+	}
+	return uint64(node)<<40 | l.nextID
 }
 
-// record appends a span, allocating its ID when unset, and returns the ID.
+// NewID allocates a fresh trace ID on lane 0 (single-node callers).
+func (tr *Tracer) NewID() uint64 { return tr.laneID(0) }
+
+// record appends a span to its node's lane, allocating its ID when unset,
+// and returns the ID.
 func (tr *Tracer) record(s Span) uint64 {
 	if s.ID == 0 {
-		s.ID = tr.NewID()
+		s.ID = tr.laneID(s.Node)
 	}
 	if s.End < s.Start {
 		s.End = s.Start
 	}
-	tr.spans = append(tr.spans, s)
+	l := tr.lane(s.Node)
+	l.spans = append(l.spans, s)
 	return s.ID
 }
 
-// msgEdge records a send→recv match: from/to are command trace IDs, post is
-// when the sender initiated the operation, at the match instant.
-func (tr *Tracer) msgEdge(from, to uint64, post, at sim.Time, bytes int64) {
-	tr.edges = append(tr.edges, rawEdge{kind: "msg", from: from, to: to, post: post, at: at, bytes: bytes})
+// msgEdge records a send→recv match on the matching node's lane: from/to
+// are command trace IDs, post is when the sender initiated the operation,
+// at the match instant.
+func (tr *Tracer) msgEdge(node int, from, to uint64, post, at sim.Time, bytes int64) {
+	l := tr.lane(node)
+	l.edges = append(l.edges, rawEdge{kind: "msg", from: from, to: to, post: post, at: at, bytes: bytes})
 }
 
-// depEdge records a stream or event ordering edge between span IDs.
-func (tr *Tracer) depEdge(kind string, from, to uint64, at sim.Time) {
-	tr.edges = append(tr.edges, rawEdge{kind: kind, from: from, to: to, at: at})
+// depEdge records a stream or event ordering edge between span IDs on the
+// owning node's lane.
+func (tr *Tracer) depEdge(node int, kind string, from, to uint64, at sim.Time) {
+	l := tr.lane(node)
+	l.edges = append(l.edges, rawEdge{kind: kind, from: from, to: to, at: at})
 }
 
-// registerPending notes a command posted by rank whose observing span is
-// not yet known.
-func (tr *Tracer) registerPending(rank int, id uint64) {
-	tr.pending[rank] = append(tr.pending[rank], id)
+// registerPending notes a command posted by rank (hosted on node) whose
+// observing span is not yet known.
+func (tr *Tracer) registerPending(node, rank int, id uint64) {
+	l := tr.lane(node)
+	l.pending[rank] = append(l.pending[rank], id)
 }
 
 // pendingMark returns a scope marker for claimSince.
-func (tr *Tracer) pendingMark(rank int) int { return len(tr.pending[rank]) }
+func (tr *Tracer) pendingMark(node, rank int) int { return len(tr.lane(node).pending[rank]) }
 
 // claim binds command cmdID to span spanID; the first claim wins, so an
 // inner blocking call keeps its precise span even when an enclosing
-// collective sweeps the region afterwards.
-func (tr *Tracer) claim(cmdID, spanID uint64) {
-	if _, ok := tr.claims[cmdID]; !ok {
-		tr.claims[cmdID] = spanID
+// collective sweeps the region afterwards. Commands are only ever claimed
+// by the rank that posted them, so the claim lands on that rank's lane.
+func (tr *Tracer) claim(node int, cmdID, spanID uint64) {
+	l := tr.lane(node)
+	if _, ok := l.claims[cmdID]; !ok {
+		l.claims[cmdID] = spanID
 	}
 }
 
 // claimSince claims every command rank posted after mark for spanID — the
 // bracket used by collectives, whose internal sends and receives all belong
 // to one host span.
-func (tr *Tracer) claimSince(rank, mark int, spanID uint64) {
-	pend := tr.pending[rank]
+func (tr *Tracer) claimSince(node, rank, mark int, spanID uint64) {
+	l := tr.lane(node)
+	pend := l.pending[rank]
 	if mark < 0 || mark > len(pend) {
 		return
 	}
 	for _, id := range pend[mark:] {
-		tr.claim(id, spanID)
+		tr.claim(node, id, spanID)
 	}
-	tr.pending[rank] = pend[:mark]
+	l.pending[rank] = pend[:mark]
+}
+
+// allSpans concatenates the lanes' spans in node order.
+func (tr *Tracer) allSpans() []Span {
+	var out []Span
+	for _, l := range tr.lanes {
+		out = append(out, l.spans...)
+	}
+	return out
 }
 
 // Spans returns the collected spans sorted by start time.
 func (tr *Tracer) Spans() []Span {
-	out := append([]Span(nil), tr.spans...)
+	out := tr.allSpans()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -129,47 +193,64 @@ func (tr *Tracer) Spans() []Span {
 }
 
 // Len reports the number of spans.
-func (tr *Tracer) Len() int { return len(tr.spans) }
+func (tr *Tracer) Len() int {
+	n := 0
+	for _, l := range tr.lanes {
+		n += len(l.spans)
+	}
+	return n
+}
 
 // maxEnd is the latest span end — the makespan fallback when the tracer is
 // exported without a run report.
 func (tr *Tracer) maxEnd() sim.Time {
 	var m sim.Time
-	for i := range tr.spans {
-		if tr.spans[i].End > m {
-			m = tr.spans[i].End
+	for _, l := range tr.lanes {
+		for i := range l.spans {
+			if l.spans[i].End > m {
+				m = l.spans[i].End
+			}
 		}
 	}
 	return m
 }
 
-// Data assembles the causal trace: spans sorted by ID and edges with
-// message endpoints resolved from command IDs to their claiming spans.
-// Edges whose endpoints have no recorded span are dropped.
+// Data assembles the causal trace: spans sorted by ID and edges (lanes
+// merged in node order) with message endpoints resolved from command IDs to
+// their claiming spans. Edges whose endpoints have no recorded span are
+// dropped.
 func (tr *Tracer) Data(makespan sim.Time) prof.Trace {
-	spans := append([]Span(nil), tr.spans...)
+	spans := tr.allSpans()
 	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
 	ids := make(map[uint64]bool, len(spans))
 	for i := range spans {
 		ids[spans[i].ID] = true
 	}
 	resolve := func(id uint64) uint64 {
-		if sp, ok := tr.claims[id]; ok && ids[sp] {
-			return sp
+		for _, l := range tr.lanes {
+			if sp, ok := l.claims[id]; ok && ids[sp] {
+				return sp
+			}
 		}
 		return id
 	}
-	edges := make([]prof.Edge, 0, len(tr.edges))
-	for _, e := range tr.edges {
-		pe := prof.Edge{Kind: e.kind, From: e.from, To: e.to, At: e.at, Post: e.post, Bytes: e.bytes}
-		if e.kind == "msg" {
-			pe.From = resolve(e.from)
-			pe.To = resolve(e.to)
+	var nEdges int
+	for _, l := range tr.lanes {
+		nEdges += len(l.edges)
+	}
+	edges := make([]prof.Edge, 0, nEdges)
+	for _, l := range tr.lanes {
+		for _, e := range l.edges {
+			pe := prof.Edge{Kind: e.kind, From: e.from, To: e.to, At: e.at, Post: e.post, Bytes: e.bytes}
+			if e.kind == "msg" {
+				pe.From = resolve(e.from)
+				pe.To = resolve(e.to)
+			}
+			if !ids[pe.From] || !ids[pe.To] {
+				continue
+			}
+			edges = append(edges, pe)
 		}
-		if !ids[pe.From] || !ids[pe.To] {
-			continue
-		}
-		edges = append(edges, pe)
 	}
 	if makespan < tr.maxEnd() {
 		makespan = tr.maxEnd()
@@ -372,7 +453,7 @@ func (t *Task) span(kind, name string, start sim.Time) {
 // -1 when tracing is off.
 func (t *Task) traceMark() int {
 	if tr := t.rt.Cfg.Trace; tr != nil {
-		return tr.pendingMark(t.rank)
+		return tr.pendingMark(t.pl.Node, t.rank)
 	}
 	return -1
 }
@@ -390,11 +471,11 @@ func (t *Task) mpiSpan(name string, start sim.Time, mark, peer int, bytes int64,
 		Name: name, Start: start, End: t.proc.Now(), Bytes: bytes, Peer: peer})
 	for _, c := range cmds {
 		if c != nil && c.TraceID != 0 {
-			tr.claim(c.TraceID, id)
+			tr.claim(t.pl.Node, c.TraceID, id)
 		}
 	}
 	if mark >= 0 {
-		tr.claimSince(t.rank, mark, id)
+		tr.claimSince(t.pl.Node, t.rank, mark, id)
 	}
 	return id
 }
@@ -405,7 +486,7 @@ func (t *Task) traceCmd(p *sim.Proc, cmd *msg.Cmd) {
 	if tr == nil {
 		return
 	}
-	cmd.TraceID = tr.NewID()
+	cmd.TraceID = tr.laneID(t.pl.Node)
 	cmd.PostedAt = p.Now()
-	tr.registerPending(t.rank, cmd.TraceID)
+	tr.registerPending(t.pl.Node, t.rank, cmd.TraceID)
 }

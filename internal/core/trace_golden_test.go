@@ -19,30 +19,31 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // exactly as the runtime would.
 func buildGoldenTracer() *Tracer {
 	tr := NewTracer()
-	sendCmd := tr.NewID() // 1: send command posted by rank 0
-	recvCmd := tr.NewID() // 2: recv command posted by rank 1
-	tr.registerPending(0, sendCmd)
-	tr.registerPending(1, recvCmd)
+	tr.Reserve(2)
+	sendCmd := tr.laneID(0) // lane 0 #1: send command posted by rank 0 (node 0)
+	recvCmd := tr.laneID(1) // lane 1 #1: recv command posted by rank 1 (node 1)
+	tr.registerPending(0, 0, sendCmd)
+	tr.registerPending(1, 1, recvCmd)
 
 	tr.record(Span{Rank: 0, Node: 0, Stream: -1, Kind: "compute", Name: "host",
-		Start: 0, End: 1000, Peer: -1}) // 3
+		Start: 0, End: 1000, Peer: -1})
 	sendSpan := tr.record(Span{Rank: 0, Node: 0, Stream: -1, Kind: "mpi", Name: "send",
-		Start: 1000, End: 3000, Bytes: 4096, Peer: 1}) // 4
-	tr.claim(sendCmd, sendSpan)
+		Start: 1000, End: 3000, Bytes: 4096, Peer: 1})
+	tr.claim(0, sendCmd, sendSpan)
 	recvSpan := tr.record(Span{Rank: 1, Node: 1, Stream: -1, Kind: "mpi", Name: "recv",
-		Start: 500, End: 3200, Bytes: 4096, Peer: 0}) // 5
-	tr.claim(recvCmd, recvSpan)
-	tr.msgEdge(sendCmd, recvCmd, 1000, 2500, 4096)
+		Start: 500, End: 3200, Bytes: 4096, Peer: 0})
+	tr.claim(1, recvCmd, recvSpan)
+	tr.msgEdge(1, sendCmd, recvCmd, 1000, 2500, 4096)
 
-	k := tr.NewID() // 6: kernel enqueued on rank 0 queue 1
-	c := tr.NewID() // 7: copy chained behind it
-	tr.depEdge("stream", k, c, 1200)
+	k := tr.laneID(0) // kernel enqueued on rank 0 queue 1
+	c := tr.laneID(0) // copy chained behind it
+	tr.depEdge(0, "stream", k, c, 1200)
 	tr.record(Span{ID: k, Rank: 0, Node: 0, Stream: 1, Kind: "kernel", Name: "stencil",
 		Start: 1500, End: 2500, Peer: -1})
 	tr.record(Span{ID: c, Rank: 0, Node: 0, Stream: 1, Kind: "copy", Name: "DtoH",
 		Start: 2500, End: 2600, Bytes: 8192, Peer: -1})
-	w := tr.NewID() // 8: cross-stream wait on rank 0 queue 2
-	tr.depEdge("event", c, w, 1300)
+	w := tr.laneID(0) // cross-stream wait on rank 0 queue 2
+	tr.depEdge(0, "event", c, w, 1300)
 	tr.record(Span{ID: w, Rank: 0, Node: 0, Stream: 2, Kind: "accwait", Name: "qwait",
 		Start: 1300, End: 2600, Peer: -1})
 

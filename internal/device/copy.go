@@ -133,7 +133,7 @@ func (c *Context) transferLane(p *sim.Proc, lane int, id uint64, dst, src xmem.A
 		// Transient copy failures: each failed attempt still spent its
 		// fabric time, and the driver re-drives the transfer until it lands
 		// or the retry budget runs out.
-		for attempt := 1; ft.CopyFail(rt.NodeIdx); attempt++ {
+		for attempt := 1; ft.CopyFail(rt.NodeIdx, rt.Eng.Now()); attempt++ {
 			if attempt > ft.CopyRetries() {
 				copyErr = fmt.Errorf("device: Transfer %s: copy failed after %d attempts", dir, attempt)
 				break

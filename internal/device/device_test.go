@@ -489,7 +489,7 @@ type flakyCopies struct {
 	retries int
 }
 
-func (f *flakyCopies) CopyFail(node int) bool {
+func (f *flakyCopies) CopyFail(node int, at sim.Time) bool {
 	if f.fails > 0 {
 		f.fails--
 		return true

@@ -14,8 +14,10 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"impacc/internal/sim"
 	"impacc/internal/telemetry"
@@ -403,17 +405,39 @@ type nodeState struct {
 // Plan is one run's instantiation of a Spec. Create a fresh Plan per run
 // (NewRuntime does): plans carry mutable random-stream state and must never
 // be shared between concurrent runs.
+//
+// Injection counts are buffered inside the plan rather than written to a
+// registry live: queries arrive from every shard of a sharded run (RDMAUp
+// in particular is asked about the destination node by the sending shard),
+// so the recording must be commutative. A guarded map of (kind, node) →
+// (count, latest query time) is exactly that; FlushInto replays it into a
+// registry in sorted order with the buffered timestamps, producing the same
+// series a serial run records live.
 type Plan struct {
 	spec  *Spec
 	nodes []nodeState
-	reg   *telemetry.Registry
+
+	mu     sync.Mutex
+	counts map[countKey]countVal
+}
+
+// countKey identifies one injected-fault counter series.
+type countKey struct {
+	kind string
+	node int
+}
+
+// countVal accumulates a series: total injections and the virtual time of
+// the latest one (the stamp a live counter would carry).
+type countVal struct {
+	n     int64
+	maxAt sim.Time
 }
 
 // NewPlan instantiates spec for a system of nnodes nodes, drawing per-node
 // streams and flap phases from a master generator seeded with spec.Seed.
-// Counters register against reg (nil disables telemetry).
-func NewPlan(spec *Spec, nnodes int, reg *telemetry.Registry) *Plan {
-	p := &Plan{spec: spec, reg: reg, nodes: make([]nodeState, nnodes)}
+func NewPlan(spec *Spec, nnodes int) *Plan {
+	p := &Plan{spec: spec, nodes: make([]nodeState, nnodes), counts: make(map[countKey]countVal)}
 	master := sim.NewRNG(spec.Seed)
 	for i := range p.nodes {
 		ns := &p.nodes[i]
@@ -429,13 +453,44 @@ func NewPlan(spec *Spec, nnodes int, reg *telemetry.Registry) *Plan {
 // Spec returns the immutable spec the plan was built from.
 func (p *Plan) Spec() *Spec { return p.spec }
 
-// count bumps the injected-fault counter for (kind, node).
-func (p *Plan) count(kind string, node int) {
-	if p.reg == nil {
+// count records one injected fault for (kind, node) at virtual time at.
+// Safe from any shard: addition commutes and the stamp keeps the maximum.
+func (p *Plan) count(kind string, node int, at sim.Time) {
+	p.mu.Lock()
+	k := countKey{kind, node}
+	c := p.counts[k]
+	c.n++
+	if at > c.maxAt {
+		c.maxAt = at
+	}
+	p.counts[k] = c
+	p.mu.Unlock()
+}
+
+// FlushInto replays the buffered injection counts into reg in sorted
+// (kind, node) order, stamping each series with its latest injection time.
+// Call it once, after the simulation has finished.
+func (p *Plan) FlushInto(reg *telemetry.Registry) {
+	if reg == nil {
 		return
 	}
-	p.reg.Counter(InjectedTotal, "injected fault events by kind and node",
-		"kind", kind, "node", strconv.Itoa(node)).Inc()
+	p.mu.Lock()
+	keys := make([]countKey, 0, len(p.counts))
+	for k := range p.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].node < keys[j].node
+	})
+	for _, k := range keys {
+		v := p.counts[k]
+		reg.Counter(InjectedTotal, "injected fault events by kind and node",
+			"kind", k.kind, "node", strconv.Itoa(k.node)).AddAt(v.n, int64(v.maxAt))
+	}
+	p.mu.Unlock()
 }
 
 // applies reports whether a rule's node selector covers node.
@@ -462,7 +517,7 @@ func (p *Plan) LinkFactor(node int, at sim.Time) float64 {
 		}
 	}
 	if factor > 1 {
-		p.count("degrade", node)
+		p.count("degrade", node, at)
 	}
 	return factor
 }
@@ -481,7 +536,7 @@ func (p *Plan) SendStall(node int, at sim.Time) sim.Dur {
 		}
 	}
 	if total > 0 {
-		p.count("stall", node)
+		p.count("stall", node, at)
 	}
 	return total
 }
@@ -491,7 +546,7 @@ func (p *Plan) SendStall(node int, at sim.Time) sim.Dur {
 func (p *Plan) LinkUp(node int, at sim.Time) bool {
 	for j, f := range p.spec.flaps {
 		if !f.rdmaOnly && p.flapDown(j, node, at) {
-			p.count("linkdown", node)
+			p.count("linkdown", node, at)
 			return false
 		}
 	}
@@ -504,7 +559,7 @@ func (p *Plan) LinkUp(node int, at sim.Time) bool {
 func (p *Plan) RDMAUp(node int, at sim.Time) bool {
 	for j := range p.spec.flaps {
 		if p.flapDown(j, node, at) {
-			p.count("rdmadown", node)
+			p.count("rdmadown", node, at)
 			return false
 		}
 	}
@@ -521,13 +576,14 @@ func (p *Plan) StraggleFactor(node int, at sim.Time) float64 {
 		}
 	}
 	if factor > 1 {
-		p.count("straggle", node)
+		p.count("straggle", node, at)
 	}
 	return factor
 }
 
-// CopyFail draws whether one device copy attempt on node transiently fails.
-func (p *Plan) CopyFail(node int) bool {
+// CopyFail draws whether one device copy attempt on node transiently fails
+// at time at (the stamp recorded for the injection counter).
+func (p *Plan) CopyFail(node int, at sim.Time) bool {
 	failed := false
 	for _, c := range p.spec.copyFails {
 		if applies(c.node, node) && p.nodes[node].rng.Float64() < c.prob {
@@ -535,7 +591,7 @@ func (p *Plan) CopyFail(node int) bool {
 		}
 	}
 	if failed {
-		p.count("copyfail", node)
+		p.count("copyfail", node, at)
 	}
 	return failed
 }

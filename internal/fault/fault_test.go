@@ -125,13 +125,13 @@ func TestParseSpecErrors(t *testing.T) {
 func TestPlanDeterminism(t *testing.T) {
 	sp := mustParse(t, "99:flap=*:2ms:300us,stall=*:0.5:10us,copyfail=*:0.3,degrade=1:2")
 	draw := func() []any {
-		p := NewPlan(sp, 4, nil)
+		p := NewPlan(sp, 4)
 		var out []any
 		for i := 0; i < 64; i++ {
 			node := i % 4
 			at := sim.Time(i) * 100_000
 			out = append(out, p.LinkUp(node, at), p.RDMAUp(node, at),
-				p.SendStall(node, at), p.CopyFail(node), p.LinkFactor(node, at))
+				p.SendStall(node, at), p.CopyFail(node, at), p.LinkFactor(node, at))
 		}
 		return out
 	}
@@ -147,7 +147,7 @@ func TestFlapPeriodicity(t *testing.T) {
 	// A 1ms period with 250us down must be down for exactly 1/4 of a long
 	// sampling window, at every node, regardless of phase.
 	sp := mustParse(t, "5:flap=*:1ms:250us")
-	p := NewPlan(sp, 2, nil)
+	p := NewPlan(sp, 2)
 	const samples = 4000
 	down := 0
 	for i := 0; i < samples; i++ {
@@ -169,7 +169,7 @@ func TestFlapPeriodicity(t *testing.T) {
 
 func TestRDMAFlapLeavesLinkUp(t *testing.T) {
 	sp := mustParse(t, "5:rdmaflap=0:1ms:400us")
-	p := NewPlan(sp, 2, nil)
+	p := NewPlan(sp, 2)
 	sawDown := false
 	for i := 0; i < 2000; i++ {
 		at := sim.Time(i) * sim.Time(sim.Microsecond)
@@ -190,7 +190,7 @@ func TestRDMAFlapLeavesLinkUp(t *testing.T) {
 
 func TestDegradeWindow(t *testing.T) {
 	sp := mustParse(t, "5:degrade=1:4:1ms:2ms")
-	p := NewPlan(sp, 2, nil)
+	p := NewPlan(sp, 2)
 	ms := sim.Time(sim.Millisecond)
 	if f := p.LinkFactor(1, ms/2); f != 1 {
 		t.Fatalf("before window: factor %v", f)
@@ -208,7 +208,7 @@ func TestDegradeWindow(t *testing.T) {
 
 func TestStraggleFactorCompounds(t *testing.T) {
 	sp := mustParse(t, "5:straggle=*:1.5,straggle=0:2")
-	p := NewPlan(sp, 2, nil)
+	p := NewPlan(sp, 2)
 	if f := p.StraggleFactor(0, 0); f != 3 {
 		t.Fatalf("node 0 factor %v, want 1.5*2", f)
 	}
@@ -219,14 +219,14 @@ func TestStraggleFactorCompounds(t *testing.T) {
 
 func TestStallAndCopyFailRates(t *testing.T) {
 	sp := mustParse(t, "11:stall=0:0.5:10us,copyfail=0:0.25")
-	p := NewPlan(sp, 1, nil)
+	p := NewPlan(sp, 1)
 	stalls, fails := 0, 0
 	const n = 10000
 	for i := 0; i < n; i++ {
 		if p.SendStall(0, 0) > 0 {
 			stalls++
 		}
-		if p.CopyFail(0) {
+		if p.CopyFail(0, 0) {
 			fails++
 		}
 	}
@@ -241,10 +241,11 @@ func TestStallAndCopyFailRates(t *testing.T) {
 func TestTelemetryCounters(t *testing.T) {
 	sp := mustParse(t, "5:degrade=0:2,copyfail=0:1")
 	reg := telemetry.NewRegistry()
-	p := NewPlan(sp, 1, reg)
-	p.LinkFactor(0, 0)
-	p.CopyFail(0)
-	p.CopyFail(0)
+	p := NewPlan(sp, 1)
+	p.LinkFactor(0, 100)
+	p.CopyFail(0, 200)
+	p.CopyFail(0, 300)
+	p.FlushInto(reg)
 	if v := reg.Counter(InjectedTotal, "", "kind", "degrade", "node", "0").Value(); v != 1 {
 		t.Fatalf("degrade counter = %d", v)
 	}

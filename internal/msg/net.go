@@ -149,10 +149,28 @@ func (h *Hub) netInject(cmd *Cmd, m *netMsg, dst *Hub, n int64, attempt int) {
 		})
 		return
 	}
-	end := h.Fab.NetSendAsync(h.Node, dst.Node, n)
-	h.Eng.At(end, func() {
-		cmd.Done.Fire()
-		dst.deliver(m)
+	// The transfer is priced in two halves so the destination may live on
+	// another shard engine: the source NIC's injection side is charged here,
+	// and the ejection side is charged on the destination's engine when the
+	// trailing byte arrives (at least one wire latency in the future, which
+	// is exactly the shard group's lookahead guarantee). The sender's buffer
+	// is reusable once the message has left the wire, so Done fires at
+	// arrival time regardless of ejection-side contention — a contended
+	// destination NIC delays only delivery, never the sender.
+	arrive, occupy := h.Fab.NetInjectAsync(h.Node, n)
+	h.Eng.At(arrive, func() { cmd.Done.Fire() })
+	dstEng := h.Fab.Engine(dst.Node)
+	h.Eng.Post(dstEng, arrive, func() {
+		deliver := h.Fab.NetAcceptAsync(dst.Node, occupy)
+		if deliver == arrive {
+			// Uncontended ejection NIC: the message is deliverable the
+			// instant it arrives, so skip the extra deferral event. Whether
+			// the NIC is busy is simulation state, so the branch is as
+			// deterministic as the schedule itself.
+			dst.deliver(m)
+			return
+		}
+		dstEng.At(deliver, func() { dst.deliver(m) })
 	})
 }
 

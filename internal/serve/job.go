@@ -42,6 +42,12 @@ type JobSpec struct {
 	Verify  bool   `json:"verify,omitempty"`  // verify against serial references (forces backed)
 	Seed    uint64 `json:"seed,omitempty"`    // 0 = 2016, the paper's year
 	Chaos   string `json:"chaos,omitempty"`   // deterministic fault spec, seed:rule,...
+	// ParSim is the intra-run simulation worker count (impacc-run -par-sim).
+	// It only changes wall-clock speed — every worker count produces
+	// byte-identical artifacts — so it is deliberately NOT part of the job's
+	// content address: serial and parallel submissions of the same job
+	// coalesce onto one cache entry.
+	ParSim int `json:"par_sim,omitempty"`
 }
 
 // compiled is a JobSpec resolved against defaults: a runnable configuration,
@@ -100,7 +106,7 @@ func compile(spec JobSpec) (*compiled, error) {
 	}
 	cfg := core.Config{
 		System: sys, Mode: mode, MaxTasks: spec.Tasks, DeviceTypes: mask,
-		Backed: backed, Seed: seed, JitterPct: 1,
+		Backed: backed, Seed: seed, JitterPct: 1, Parallel: spec.ParSim,
 	}
 	if spec.Chaos != "" {
 		cfg.Chaos, err = fault.ParseSpec(spec.Chaos)

@@ -250,6 +250,66 @@ func TestChaoticJobCachesToo(t *testing.T) {
 	}
 }
 
+// TestParSimCoalesces: par_sim is a wall-clock knob, not a simulation
+// parameter, so a parallel submission of a job already run serially is a
+// cache hit and every artifact is byte-identical — the sharded engine's
+// determinism guarantee, exercised through the service's content address.
+func TestParSimCoalesces(t *testing.T) {
+	serial := smallJob()
+	par := smallJob()
+	par.ParSim = 8
+	c1, err := compile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := compile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.key != c2.key {
+		t.Fatalf("par_sim changed the content address: %s vs %s", c1.key, c2.key)
+	}
+
+	_, ts := testServer(t, Config{})
+	st1, code := postJob(t, ts, serial, true)
+	if code != 200 || st1.State != stateDone {
+		t.Fatalf("serial submit -> %d %+v", code, st1)
+	}
+	first := map[string][]byte{}
+	for _, art := range []string{"report", "report.txt", "profile", "trace"} {
+		first[art], _ = getBody(t, ts, "/v1/jobs/"+st1.Key+"/"+art)
+	}
+	st2, code := postJob(t, ts, par, false)
+	if code != 200 || !st2.Cached || st2.Key != st1.Key {
+		t.Fatalf("par_sim=8 resubmit -> %d %+v, want hit on %s", code, st2, st1.Key)
+	}
+	for art, want := range first {
+		got, code := getBody(t, ts, "/v1/jobs/"+st1.Key+"/"+art)
+		if code != 200 || !bytes.Equal(got, want) {
+			t.Fatalf("artifact %s not byte-identical across par_sim (code %d)", art, code)
+		}
+	}
+	if runs := counterValue(t, ts, "serve_runs_total"); runs != "1" {
+		t.Fatalf("serve_runs_total = %s, want 1 (parallel submission coalesced)", runs)
+	}
+
+	// And the reverse order — parallel first, serial hit — with the worker
+	// actually honoring the knob on the miss.
+	_, ts2 := testServer(t, Config{})
+	stp, code := postJob(t, ts2, par, true)
+	if code != 200 || stp.State != stateDone {
+		t.Fatalf("parallel submit -> %d %+v", code, stp)
+	}
+	rep, _ := getBody(t, ts2, "/v1/jobs/"+stp.Key+"/report")
+	if !bytes.Equal(rep, first["report"]) {
+		t.Fatal("report from a par_sim=8 run differs from the serial run's bytes")
+	}
+	sts, code := postJob(t, ts2, serial, false)
+	if code != 200 || !sts.Cached || sts.Key != stp.Key {
+		t.Fatalf("serial resubmit -> %d %+v, want hit on %s", code, sts, stp.Key)
+	}
+}
+
 // TestOverload: with the workers not yet started, submissions beyond the
 // queue capacity are rejected with 429 + Retry-After while admitted jobs
 // stay queued; starting the workers then drains everything.

@@ -58,6 +58,54 @@ func BenchmarkEngineHeapChurn(b *testing.B) {
 	}
 }
 
+// benchShardGroup drives nShards tick chains to roughly b.N total events
+// under a ShardGroup with the given worker count. Tick interval 97 against
+// lookahead 1000 gives ~10 events per shard per window, and every 8th tick
+// posts a cross-shard event to the right neighbor, so the numbers include
+// the window barriers and outbox exchange — the full PDES overhead, not
+// just the engine loop.
+func benchShardGroup(b *testing.B, nShards, workers int) {
+	engines := make([]*Engine, nShards)
+	for i := range engines {
+		engines[i] = NewLPEngine(i)
+	}
+	g := NewShardGroup(engines, 1000, workers)
+	per := b.N/nShards + 1
+	for i := range engines {
+		e, dst := engines[i], engines[(i+1)%nShards]
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n >= per {
+				return
+			}
+			if n%8 == 0 {
+				e.Post(dst, e.Now()+2000, func() {})
+			}
+			e.After(97, tick)
+		}
+		e.After(97, tick)
+	}
+	b.ReportAllocs()
+	if err := g.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardGroup1Shard is the degenerate group — one engine, a single
+// infinite window. Its delta against BenchmarkEngineFnEvents is the cost of
+// running every simulation through the group coordinator.
+func BenchmarkShardGroup1Shard(b *testing.B) { benchShardGroup(b, 1, 1) }
+
+// BenchmarkShardGroup4Shards1Worker is the sharded schedule executed
+// serially: window fencing and outbox exchange with zero host parallelism.
+func BenchmarkShardGroup4Shards1Worker(b *testing.B) { benchShardGroup(b, 4, 1) }
+
+// BenchmarkShardGroup4Shards4Workers runs the same schedule on four workers:
+// speedup on a multi-core host, pure coordination overhead on one core.
+func BenchmarkShardGroup4Shards4Workers(b *testing.B) { benchShardGroup(b, 4, 4) }
+
 // BenchmarkProcSleepWake measures the process context-switch path: one
 // running process sleeping b.N times (one event + two channel handoffs per
 // iteration).

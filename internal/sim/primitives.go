@@ -223,6 +223,26 @@ func (r *FIFOResource) UseAsync(occupy Dur) (start, end Time) {
 	return start, r.freeAt
 }
 
+// UseAsyncFrom occupies the resource like UseAsync, but for a request whose
+// leading edge reached it at earliest (which may precede the current time —
+// a network transfer's first byte arrives one occupancy ahead of its last).
+// The occupation starts at max(earliest, free) and the wait observed by the
+// monitor is measured from earliest.
+func (r *FIFOResource) UseAsyncFrom(earliest Time, occupy Dur) (start, end Time) {
+	if occupy < 0 {
+		occupy = 0
+	}
+	start = earliest
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + Time(occupy)
+	r.BusyTime += occupy
+	r.Uses++
+	r.observe(earliest, start, occupy)
+	return start, r.freeAt
+}
+
 // FreeAt reports when the resource next becomes idle.
 func (r *FIFOResource) FreeAt() Time { return r.freeAt }
 

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardGroup runs several engines — shards of one simulation — under
+// conservative-lookahead parallel discrete-event simulation (PDES). Each
+// shard owns a disjoint slice of the simulated machine (core shards by
+// node), so the only state crossing shards is explicit: events posted with
+// Engine.Post. The group advances all shards window by window:
+//
+//	T     = min over shards of the next pending event time
+//	fence = T + lookahead
+//
+// where lookahead is a lower bound on the virtual latency of any
+// cross-shard interaction. Every cross-shard event generated inside a
+// window therefore lands at or after the fence, so shards can execute the
+// whole window concurrently without observing each other; outboxes are
+// exchanged at the barrier and injected carrying the sender's (lp, seq)
+// stamp, which — together with the (at, depth, lp, seq) event order — makes
+// the merged schedule a pure function of the inputs. A group of one shard,
+// or a group with no positive lookahead, degenerates to a single serial
+// window and is exactly the classic engine loop.
+//
+// Worker count changes only wall-clock behaviour, never a single simulated
+// byte: within a window each shard runs sequentially and shards share no
+// state, so any assignment of shards to workers dispatches the same events
+// at the same virtual times.
+type ShardGroup struct {
+	engines   []*Engine
+	lookahead Dur
+	workers   int
+
+	// Deadline, MaxTime, and MaxEvents mirror the Engine fields but act on
+	// the group's global virtual clock (the minimum next event time) and
+	// the shards' combined dispatch count.
+	Deadline  Time
+	MaxTime   Time
+	MaxEvents uint64
+
+	budget    atomic.Int64
+	cancelled atomic.Bool
+}
+
+// NewShardGroup builds a group over engines created with NewLPEngine (lp =
+// index). lookahead must be a conservative lower bound on cross-shard event
+// latency: a positive value lets shards run concurrently; zero or negative
+// forces fully serial single-window execution, which is only correct when
+// the group has exactly one engine (callers with no usable lookahead must
+// place everything on one shard). workers bounds how many shards execute
+// concurrently; <= 1 is serial.
+func NewShardGroup(engines []*Engine, lookahead Dur, workers int) *ShardGroup {
+	if len(engines) > 1 && lookahead <= 0 {
+		panic("sim: multi-shard group requires positive lookahead")
+	}
+	for i, e := range engines {
+		if e.lp != int32(i) {
+			panic("sim: shard engines must be created with NewLPEngine(index)")
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &ShardGroup{engines: engines, lookahead: lookahead, workers: workers}
+}
+
+// Cancel asks the group to stop. Safe from any goroutine: each shard's run
+// loop polls its own flag before every dispatch.
+func (g *ShardGroup) Cancel() {
+	g.cancelled.Store(true)
+	for _, e := range g.engines {
+		e.Cancel()
+	}
+}
+
+// Cancelled reports whether Cancel has been called.
+func (g *ShardGroup) Cancelled() bool { return g.cancelled.Load() }
+
+// Events reports the total number of events dispatched across all shards.
+func (g *ShardGroup) Events() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.dispatched
+	}
+	return n
+}
+
+// MaxNow returns the latest local clock over the shards — the time of the
+// last event dispatched anywhere, matching the final clock of an equivalent
+// serial engine.
+func (g *ShardGroup) MaxNow() Time {
+	var t Time
+	for _, e := range g.engines {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// Run advances all shards to completion and returns exactly what a single
+// serial engine over the merged schedule would have: nil on a clean drain,
+// *DeadlockError (with the union of blocked processes), *LimitError on a
+// Deadline/MaxEvents cap, *CancelError, or *PanicError. However it ends,
+// every unfinished process on every shard is unwound before returning.
+func (g *ShardGroup) Run() error {
+	if g.MaxEvents != 0 {
+		g.budget.Store(int64(g.MaxEvents))
+		for _, e := range g.engines {
+			e.budget, e.budgetLimit = &g.budget, int64(g.MaxEvents)
+		}
+	}
+	stopErr := g.windows()
+	var err error
+	if p := g.firstPanic(); p != nil {
+		err = p
+	} else if stopErr != nil {
+		err = stopErr
+	} else if !g.halted() {
+		if blocked := g.blockedUnion(); len(blocked) > 0 {
+			err = &DeadlockError{Time: g.MaxNow(), Blocked: blocked}
+		}
+	}
+	for _, e := range g.engines {
+		e.unwindProcs()
+	}
+	if err == nil {
+		if p := g.firstPanic(); p != nil {
+			// A defer panicked for real while unwinding; surface it.
+			err = p
+		}
+	}
+	return err
+}
+
+// windows is the barrier loop: pick the window, run every shard with work
+// in it (concurrently when workers allow), exchange outboxes, repeat.
+func (g *ShardGroup) windows() error {
+	n := len(g.engines)
+	errs := make([]error, n)
+	active := make([]*Engine, 0, n)
+	for {
+		if g.cancelled.Load() {
+			return &CancelError{At: g.MaxNow()}
+		}
+		T, ok := g.minNextAt()
+		if !ok {
+			return nil // drained
+		}
+		if g.Deadline != 0 && T > g.Deadline {
+			return &LimitError{Resource: "vtime", Limit: int64(g.Deadline), At: g.MaxNow()}
+		}
+		if g.MaxTime != 0 && T > g.MaxTime {
+			return nil // silent truncation, like Engine.MaxTime
+		}
+		fence := timeInfinity
+		if n > 1 {
+			fence = T + Time(g.lookahead)
+		}
+		if g.Deadline != 0 && fence > g.Deadline+1 {
+			fence = g.Deadline + 1
+		}
+		if g.MaxTime != 0 && fence > g.MaxTime+1 {
+			fence = g.MaxTime + 1
+		}
+		active = active[:0]
+		for _, e := range g.engines {
+			if at, ok := e.nextAt(); ok && at < fence {
+				active = append(active, e)
+			}
+		}
+		g.runWindow(active, fence, errs)
+		// The stop error of the lowest shard index wins, deterministically.
+		for i := range errs {
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		if g.halted() {
+			return nil // a shard halted (panic or Halt); stop the run
+		}
+		// Exchange cross-shard events in shard order; the (lp, seq) stamps
+		// injected here fix the merge order independent of flush order.
+		for _, e := range g.engines {
+			for i := range e.outbox {
+				re := e.outbox[i]
+				e.outbox[i] = remoteEvent{}
+				re.dst.inject(re.at, re.fn, re.lp, re.seq)
+			}
+			e.outbox = e.outbox[:0]
+		}
+	}
+}
+
+// runWindow advances every active shard to the fence, on up to g.workers
+// concurrent workers. Each errs slot is owned by one shard, so the error
+// collection is as deterministic as the shards themselves.
+func (g *ShardGroup) runWindow(active []*Engine, fence Time, errs []error) {
+	if w := min(g.workers, len(active)); w > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(active) {
+						return
+					}
+					e := active[i]
+					errs[e.lp] = e.runUntil(fence)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	for _, e := range active {
+		errs[e.lp] = e.runUntil(fence)
+	}
+}
+
+// minNextAt is the group's global clock: the earliest pending event time
+// across shards.
+func (g *ShardGroup) minNextAt() (Time, bool) {
+	var t Time
+	found := false
+	for _, e := range g.engines {
+		if at, ok := e.nextAt(); ok && (!found || at < t) {
+			t, found = at, true
+		}
+	}
+	return t, found
+}
+
+// halted reports whether any shard has halted (Halt, MaxTime, or a panic).
+func (g *ShardGroup) halted() bool {
+	for _, e := range g.engines {
+		if e.halted {
+			return true
+		}
+	}
+	return false
+}
+
+// firstPanic returns the recorded panic of the lowest shard index, if any.
+func (g *ShardGroup) firstPanic() *PanicError {
+	for _, e := range g.engines {
+		if e.panicked != nil {
+			return e.panicked
+		}
+	}
+	return nil
+}
+
+// blockedUnion merges every shard's blocked-process diagnostics, sorted.
+func (g *ShardGroup) blockedUnion() []string {
+	var blocked []string
+	for _, e := range g.engines {
+		if e.live > 0 {
+			blocked = append(blocked, e.blockedProcs()...)
+		}
+	}
+	sort.Strings(blocked)
+	return blocked
+}

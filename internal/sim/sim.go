@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync/atomic"
 
@@ -70,16 +71,45 @@ func DurFromSeconds(s float64) Dur {
 // process; otherwise fn runs inline in the engine loop. Events are pooled on
 // a per-engine freelist; no pointer to one may outlive its dispatch.
 type event struct {
-	at   Time
-	seq  uint64
+	at Time
+	// dl packs the canonical tie-break pair (depth, lp) into one word —
+	// depth in the high 32 bits, lp in the low 32 — so eventLess compares
+	// it numerically and lexicographic (depth, lp) order is preserved.
+	//
+	// depth is the same-instant causal depth: 0 for events scheduled for a
+	// future instant (or injected across shards), d+1 for events scheduled
+	// at the current instant while dispatching a depth-d event. Within one
+	// engine, seq order already equals (depth, seq) order — children are
+	// always stamped after every event of their parent's generation — so
+	// the stamp changes nothing for a single engine; it exists so events
+	// from different shards merge into one total order that a single
+	// engine would also have produced.
+	//
+	// lp is the logical process (shard) that scheduled the event. Ties at
+	// equal (at, depth) between shards break on (lp, seq), which depends
+	// only on the schedule, never on host scheduling.
+	dl  uint64
+	seq uint64
+
 	proc *Proc
 	fn   func()
 }
 
-// eventLess is the total order on events: (at, seq) ascending.
+// dlKey packs a (depth, lp) pair into an event's dl word.
+func dlKey(depth uint32, lp int32) uint64 {
+	return uint64(depth)<<32 | uint64(uint32(lp))
+}
+
+// eventLess is the total order on events: (at, depth, lp, seq) ascending.
+// For events stamped by a single engine this is identical to the historical
+// (at, seq) order (see event.dl); across engines it is the canonical
+// merge order of the sharded runtime.
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.dl != b.dl {
+		return a.dl < b.dl
 	}
 	return a.seq < b.seq
 }
@@ -89,6 +119,25 @@ func eventLess(a, b *event) bool {
 type Engine struct {
 	now Time
 	seq uint64
+
+	// lp is this engine's logical-process id when it runs as one shard of a
+	// ShardGroup (the node index under core's placement). Standalone
+	// engines keep 0; every event carries its scheduler's lp so cross-shard
+	// ties break deterministically.
+	lp int32
+	// dispatchDepth is the depth of the event currently being dispatched,
+	// or -1 between dispatches; schedule derives same-instant child depths
+	// from it (see event.depth).
+	dispatchDepth int32
+	// outbox buffers events posted to other shards' timelines (Post). A
+	// ShardGroup drains it at every window barrier; standalone engines
+	// never fill it.
+	outbox []remoteEvent
+	// budget, when non-nil, is a group-shared countdown of dispatchable
+	// events (ShardGroup's MaxEvents). budgetLimit is the configured cap,
+	// kept for the error message.
+	budget      *atomic.Int64
+	budgetLimit int64
 
 	// heap is a 4-ary min-heap on (at, seq) holding every pending event
 	// scheduled for a future instant. Events for the current instant
@@ -146,11 +195,25 @@ type Engine struct {
 // NewEngine returns an engine with an empty event queue at time zero.
 func NewEngine() *Engine {
 	e := &Engine{
-		parked: make(chan struct{}),
+		parked:        make(chan struct{}),
+		dispatchDepth: -1,
 	}
 	e.AdoptMetrics(telemetry.NewRegistry())
 	return e
 }
+
+// NewLPEngine returns an engine whose events are stamped with logical
+// process id lp. Shard coordinators must create their member engines this
+// way before scheduling anything on them, so every event (including pre-run
+// spawns) carries the shard that produced it.
+func NewLPEngine(lp int) *Engine {
+	e := NewEngine()
+	e.lp = int32(lp)
+	return e
+}
+
+// LP returns the engine's logical-process id (0 for standalone engines).
+func (e *Engine) LP() int { return int(e.lp) }
 
 // AdoptMetrics makes reg the engine's registry and points its clock at the
 // virtual time, so metric mutations are stamped deterministically.
@@ -259,12 +322,59 @@ func (e *Engine) schedule(t Time, p *Proc, fn func()) {
 	}
 	e.seq++
 	ev := e.alloc()
-	ev.at, ev.seq, ev.proc, ev.fn = t, e.seq, p, fn
+	var depth uint32
+	if t == e.now {
+		depth = uint32(e.dispatchDepth + 1)
+	}
+	ev.at, ev.dl, ev.seq, ev.proc, ev.fn = t, dlKey(depth, e.lp), e.seq, p, fn
 	if t == e.now {
 		e.nowQ = append(e.nowQ, ev)
 	} else {
 		e.pushHeap(ev)
 	}
+}
+
+// remoteEvent is an event bound for another shard's timeline, buffered in
+// the scheduling engine's outbox until the next window barrier.
+type remoteEvent struct {
+	dst *Engine
+	at  Time
+	fn  func()
+	lp  int32
+	seq uint64
+}
+
+// Post schedules fn at absolute time at on dst's timeline. When dst is the
+// engine itself this is exactly At; otherwise the event is stamped with this
+// engine's (lp, seq) — so the merge order is decided by the sender's
+// schedule, not by delivery order — and buffered until the coordinator
+// exchanges outboxes at a synchronization barrier. Cross-shard posts must
+// target a strictly future instant on the receiving shard; conservative
+// lookahead guarantees that, and the IMPACC_SIM_CHECK invariant check turns
+// violations into panics.
+func (e *Engine) Post(dst *Engine, at Time, fn func()) {
+	if dst == e {
+		e.schedule(at, nil, fn)
+		return
+	}
+	e.seq++
+	e.outbox = append(e.outbox, remoteEvent{dst: dst, at: at, fn: fn, lp: e.lp, seq: e.seq})
+}
+
+// simCheck gates the cross-shard causality assertion: set IMPACC_SIM_CHECK
+// to any non-empty value to panic on an event injected into a shard's past.
+var simCheck = os.Getenv("IMPACC_SIM_CHECK") != ""
+
+// inject lands a cross-shard event in this engine's heap, carrying the
+// sender's stamp. Called only between windows, with the engine quiescent.
+func (e *Engine) inject(at Time, fn func(), lp int32, seq uint64) {
+	if simCheck && at <= e.now && e.dispatched > 0 {
+		panic(fmt.Sprintf("sim: causality violation: event from lp %d injected at t=%d into shard %d already at t=%d",
+			lp, int64(at), e.lp, int64(e.now)))
+	}
+	ev := e.alloc()
+	ev.at, ev.dl, ev.seq, ev.fn = at, dlKey(0, lp), seq, fn
+	e.pushHeap(ev)
 }
 
 // At schedules fn to run in engine context at absolute virtual time t.
@@ -461,6 +571,9 @@ func (e *DeadlockError) Error() string {
 		Dur(e.Time), len(e.Blocked), e.Blocked)
 }
 
+// timeInfinity is a fence beyond any schedulable instant.
+const timeInfinity = Time(1<<63 - 1)
+
 // Run executes events until the queue drains. It returns a *DeadlockError if
 // processes remain blocked when no events are left, or nil on clean
 // completion (all spawned processes finished).
@@ -471,24 +584,66 @@ func (e *DeadlockError) Error() string {
 // swallowed by the engine, so no goroutines leak and tools may run many
 // engines in one process.
 func (e *Engine) Run() error {
-	var stopErr error
+	stopErr := e.runUntil(timeInfinity)
+	var err error
+	if e.panicked != nil {
+		err = e.panicked
+	} else if stopErr != nil {
+		err = stopErr
+	} else if e.live > 0 && !e.halted {
+		err = &DeadlockError{Time: e.now, Blocked: e.blockedProcs()}
+	}
+	e.unwindProcs()
+	if err == nil && e.panicked != nil {
+		// A defer panicked for real while unwinding; surface it.
+		err = e.panicked
+	}
+	return err
+}
+
+// blockedProcs lists the unfinished processes and what each waits on,
+// sorted, for deadlock diagnostics.
+func (e *Engine) blockedProcs() []string {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		blocked = append(blocked, fmt.Sprintf("%s (on %s)", p.Name, p.blockedOn))
+	}
+	sort.Strings(blocked)
+	return blocked
+}
+
+// runUntil executes events strictly before fence and returns the stop
+// error, if any. It returns nil when the queue drains, when the next event
+// lies at or past the fence (the event stays queued; the engine is
+// resumable), or when the engine halts (by Halt, MaxTime, or a process
+// panic — check Halted / panicked). Shard coordinators call it repeatedly
+// with successive window fences; Run calls it once with an infinite fence.
+func (e *Engine) runUntil(fence Time) error {
 	for !e.halted {
 		if e.cancelled.Load() {
-			stopErr = &CancelError{At: e.now}
 			e.halted = true
-			goto done
+			return &CancelError{At: e.now}
 		}
 		if e.MaxEvents != 0 && e.dispatched >= e.MaxEvents {
-			stopErr = &LimitError{Resource: "events", Limit: int64(e.MaxEvents), At: e.now}
 			e.halted = true
-			goto done
+			return &LimitError{Resource: "events", Limit: int64(e.MaxEvents), At: e.now}
+		}
+		// The group budget is debited one event up front and credited back
+		// on every return path that does not dispatch, so it counts exactly
+		// the dispatched events regardless of how many windows ran.
+		if e.budget != nil && e.budget.Add(-1) < 0 {
+			e.halted = true
+			return &LimitError{Resource: "events", Limit: e.budgetLimit, At: e.now}
 		}
 		var ev *event
 		switch {
 		case len(e.heap) > 0 && e.heap[0].at == e.now:
 			// Heap entries at the current instant were scheduled
-			// before the clock reached it, so they precede every
-			// nowQ entry (smaller seq).
+			// before the clock reached it (or injected with depth 0),
+			// so they precede every nowQ entry in canonical order.
 			ev = e.popHeap()
 		case e.nowQHead < len(e.nowQ):
 			ev = e.nowQ[e.nowQHead]
@@ -499,60 +654,64 @@ func (e *Engine) Run() error {
 			e.nowQ = e.nowQ[:0]
 			e.nowQHead = 0
 			if len(e.heap) == 0 {
-				goto done
+				e.creditBudget()
+				return nil
+			}
+			if e.heap[0].at >= fence {
+				e.creditBudget()
+				return nil // window exhausted; event stays queued
 			}
 			ev = e.popHeap()
 			if e.Deadline != 0 && ev.at > e.Deadline {
 				e.free(ev)
-				stopErr = &LimitError{Resource: "vtime", Limit: int64(e.Deadline), At: e.now}
+				e.creditBudget()
 				e.halted = true
-				goto done
+				return &LimitError{Resource: "vtime", Limit: int64(e.Deadline), At: e.now}
 			}
 			if e.MaxTime != 0 && ev.at > e.MaxTime {
 				e.free(ev)
+				e.creditBudget()
 				e.halted = true
-				goto done
+				return nil
 			}
 			e.now = ev.at
 		}
-		{
-			// Copy out and free before dispatch: the handler may
-			// schedule, which reuses pooled events.
-			p, fn := ev.proc, ev.fn
-			e.free(ev)
-			e.dispatched++
-			if p != nil {
-				if !p.done { // lazy cancellation: skip dead processes
-					e.runProc(p)
-				}
-			} else if fn != nil {
-				fn()
+		// Copy out and free before dispatch: the handler may schedule,
+		// which reuses pooled events.
+		p, fn := ev.proc, ev.fn
+		e.dispatchDepth = int32(ev.dl >> 32)
+		e.free(ev)
+		e.dispatched++
+		if p != nil {
+			if !p.done { // lazy cancellation: skip dead processes
+				e.runProc(p)
 			}
+		} else if fn != nil {
+			fn()
 		}
+		e.dispatchDepth = -1
 	}
-done:
-	var err error
-	if e.panicked != nil {
-		err = e.panicked
-	} else if stopErr != nil {
-		err = stopErr
-	} else if e.live > 0 && !e.halted {
-		var blocked []string
-		for _, p := range e.procs {
-			if p.done {
-				continue
-			}
-			blocked = append(blocked, fmt.Sprintf("%s (on %s)", p.Name, p.blockedOn))
-		}
-		sort.Strings(blocked)
-		err = &DeadlockError{Time: e.now, Blocked: blocked}
+	return nil
+}
+
+// creditBudget returns the event debited at the top of the run loop when
+// the iteration ends without dispatching.
+func (e *Engine) creditBudget() {
+	if e.budget != nil {
+		e.budget.Add(1)
 	}
-	e.unwindProcs()
-	if err == nil && e.panicked != nil {
-		// A defer panicked for real while unwinding; surface it.
-		err = e.panicked
+}
+
+// nextAt reports the time of the engine's earliest pending event, or false
+// when its queues are empty.
+func (e *Engine) nextAt() (Time, bool) {
+	if e.nowQHead < len(e.nowQ) {
+		return e.now, true
 	}
-	return err
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
 }
 
 // unwindProcs resumes every unfinished process with the unwind flag set so

@@ -17,6 +17,7 @@ import (
 // (device streams, message handlers) sleep until completion or attach
 // callbacks. Blocking variants park the calling process.
 type Fabric struct {
+	// Eng is node 0's engine — the only engine of an unsharded fabric.
 	Eng *sim.Engine
 	Sys *System
 
@@ -26,6 +27,9 @@ type Fabric struct {
 	Faults NetFaults
 
 	nodes []*NodeRes
+	// engines[i] hosts node i's resources; all identical for an unsharded
+	// fabric, one shard engine per node under parallel simulation.
+	engines []*sim.Engine
 }
 
 // NetFaults is the slice of a chaos plan the fabric consults when pricing
@@ -52,12 +56,29 @@ type NodeRes struct {
 	NICOut, NICIn *sim.FIFOResource
 }
 
-// NewFabric builds the per-node resources for sys inside eng.
+// NewFabric builds the per-node resources for sys inside one engine.
 func NewFabric(eng *sim.Engine, sys *System) *Fabric {
-	f := &Fabric{Eng: eng, Sys: sys}
+	engines := make([]*sim.Engine, len(sys.Nodes))
+	for i := range engines {
+		engines[i] = eng
+	}
+	return NewShardedFabric(engines, sys)
+}
+
+// NewShardedFabric builds the fabric with node i's resources living in
+// engines[i] — the shard layout of parallel simulation. Every resource is
+// only ever touched from its own engine's events; the internode path
+// crosses engines exclusively through NetInjectAsync (source side) and
+// NetAcceptAsync (destination side, run on the destination engine).
+func NewShardedFabric(engines []*sim.Engine, sys *System) *Fabric {
+	if len(engines) != len(sys.Nodes) {
+		panic("topo: NewShardedFabric needs one engine per node")
+	}
+	f := &Fabric{Eng: engines[0], Sys: sys, engines: engines}
 	f.nodes = make([]*NodeRes, len(sys.Nodes))
 	for i := range sys.Nodes {
 		node := &sys.Nodes[i]
+		eng := engines[i]
 		nr := &NodeRes{
 			Inter:  eng.NewFIFOResource(fmt.Sprintf("%s/inter", node.Name)),
 			MemBus: eng.NewFIFOResource(fmt.Sprintf("%s/membus", node.Name)),
@@ -78,6 +99,37 @@ func NewFabric(eng *sim.Engine, sys *System) *Fabric {
 
 // Node returns the resources of node i.
 func (f *Fabric) Node(i int) *NodeRes { return f.nodes[i] }
+
+// Engine returns the engine hosting node i's resources.
+func (f *Fabric) Engine(i int) *sim.Engine { return f.engines[i] }
+
+// MinNetLatency returns the smallest fixed internode latency any node's NIC
+// can achieve: min over nodes of link latency plus software overhead,
+// excluding occupancy. It is the conservative lookahead bound for sharding
+// the simulation by node — every cross-node event lands at least this far
+// in the sender's future. Fault plans can only lengthen a transfer (stalls
+// add delay, degradation stretches occupancy), never shorten it, so the
+// bound holds under chaos without clamping. Returns 0 (no usable lookahead)
+// if any node's NIC carries no fixed latency.
+func (f *Fabric) MinNetLatency() sim.Dur { return f.Sys.MinNetLatency() }
+
+// MinNetLatency is the System-level computation behind
+// Fabric.MinNetLatency, usable before any engine exists (the runtime
+// decides its shard layout from it).
+func (s *System) MinNetLatency() sim.Dur {
+	min := sim.Dur(-1)
+	for i := range s.Nodes {
+		l := s.Nodes[i].NIC.Link
+		fixed := l.Latency + l.SWOverhead
+		if min < 0 || fixed < min {
+			min = fixed
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
 
 // LinkUtilization is the telemetry gauge family carrying per-node link
 // utilization: labels node and link (pcie<N>, inter, membus, nic-out,
@@ -220,21 +272,55 @@ func (f *Fabric) CanP2P(node, a, b int) bool {
 
 // NetSendAsync prices an internode transfer of n bytes from srcNode to
 // dstNode, occupying the source NIC's injection side and the destination
-// NIC's ejection side for the same interval, plus wire latency.
+// NIC's ejection side for the same interval, plus wire latency. Both
+// endpoints must live in the same engine (unsharded fabrics only); the
+// sharded message path uses NetInjectAsync + NetAcceptAsync instead.
 func (f *Fabric) NetSendAsync(srcNode, dstNode int, n int64) sim.Time {
-	src := &f.Sys.Nodes[srcNode]
-	link := src.NIC.Link
-	occupy := link.Occupy(n)
-	tail := link.Latency + link.SWOverhead
+	occupy, tail := f.netPrice(srcNode, n)
+	_, end := sim.CoUseAsync(occupy, f.nodes[srcNode].NICOut, f.nodes[dstNode].NICIn)
+	return end + sim.Time(tail)
+}
+
+// netPrice computes the (possibly fault-degraded) NIC occupancy and fixed
+// tail of an n-byte transfer injected by srcNode now.
+func (f *Fabric) netPrice(srcNode int, n int64) (occupy sim.Dur, tail sim.Dur) {
+	link := f.Sys.Nodes[srcNode].NIC.Link
+	occupy = link.Occupy(n)
+	tail = link.Latency + link.SWOverhead
 	if f.Faults != nil {
-		now := f.Eng.Now()
+		now := f.engines[srcNode].Now()
 		if factor := f.Faults.LinkFactor(srcNode, now); factor > 1 {
 			occupy = sim.Dur(float64(occupy) * factor)
 		}
 		tail += f.Faults.SendStall(srcNode, now)
 	}
-	_, end := sim.CoUseAsync(occupy, f.nodes[srcNode].NICOut, f.nodes[dstNode].NICIn)
-	return end + sim.Time(tail)
+	return occupy, tail
+}
+
+// NetInjectAsync prices the source half of an internode transfer: the
+// source NIC's injection side is occupied from when it frees up, and the
+// message's trailing byte reaches the destination NIC at the returned
+// arrive time (injection end plus wire latency, stalls included). The
+// returned occupy is the transfer's wire occupancy, to be charged to the
+// destination with NetAcceptAsync at arrive — on the destination's engine.
+// arrive is always at least MinNetLatency past the source's current time,
+// which is what makes it safe to schedule across shards.
+func (f *Fabric) NetInjectAsync(srcNode int, n int64) (arrive sim.Time, occupy sim.Dur) {
+	occupy, tail := f.netPrice(srcNode, n)
+	_, end := f.nodes[srcNode].NICOut.UseAsync(occupy)
+	return end + sim.Time(tail), occupy
+}
+
+// NetAcceptAsync charges the destination half of an internode transfer
+// whose trailing byte arrives now (call it at the arrive time returned by
+// NetInjectAsync, on the destination node's engine): the ejection side is
+// occupied for occupy ending no earlier than now, and the returned deliver
+// time is when the payload is fully ejected — exactly now when the NIC is
+// idle, later when earlier arrivals still occupy it.
+func (f *Fabric) NetAcceptAsync(dstNode int, occupy sim.Dur) (deliver sim.Time) {
+	arrive := f.engines[dstNode].Now()
+	_, deliver = f.nodes[dstNode].NICIn.UseAsyncFrom(arrive-sim.Time(occupy), occupy)
+	return deliver
 }
 
 // NetSend is the blocking variant of NetSendAsync.
