@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,6 +80,13 @@ func main() {
 		chaos   = flag.String("chaos", "", "deterministic fault injection, seed:spec (e.g. '7:degrade=*:4,rdmaflap=1:2ms:500us,straggle=0:1.5')")
 		parSim  = flag.Int("par-sim", 1, "worker threads driving the sharded simulation engine (wall-clock only; any value produces byte-identical output)")
 
+		progressEvery  = flag.String("progress-every", "", "emit a progress heartbeat every this much virtual time (e.g. 1ms); content is deterministic for any -par-sim value")
+		progress       = flag.String("progress", "", "write heartbeats as JSON lines to this file (default stderr)")
+		traceStream    = flag.String("trace-stream", "", "stream trace records to this file as JSON lines while the run executes (bounded memory; convert or analyze later with impacc-prof); mutually exclusive with -trace/-prof")
+		streamBuffered = flag.Bool("trace-stream-buffered", false, "with -trace-stream: buffer records in memory and write the stream at run end; the bytes must match the streamed path exactly (equivalence checks, CI)")
+		flightRec      = flag.String("flight-recorder", "", "arm the stall flight recorder and write its dump (recent events per shard + parked processes) to this file if the run ends abnormally")
+		flightRing     = flag.Int("flight-ring", 64, "per-shard depth of the flight recorder's recent-event ring")
+
 		maxVTime  = flag.String("max-vtime", "", "fail the run past this much virtual time (e.g. 2s, 500ms; 0 = unlimited)")
 		maxEvents = flag.Int64("max-events", 0, "fail the run past this many simulation events (0 = unlimited)")
 		maxAlloc  = flag.Int64("max-alloc", 0, "fail the run past this many task heap bytes (0 = unlimited)")
@@ -125,8 +133,42 @@ func main() {
 	}
 	cfg.Limits.MaxEvents = *maxEvents
 	cfg.Limits.MaxAllocBytes = *maxAlloc
-	if *trace != "" || *profile != "" {
+	var streamFile *os.File
+	if *traceStream != "" {
+		if *trace != "" || *profile != "" {
+			// A streaming tracer ships records as windows close and keeps
+			// nothing in memory, so there is no graph left to render a
+			// Chrome trace or profile from at run end.
+			fatal(fmt.Errorf("-trace-stream is mutually exclusive with -trace and -prof (analyze the stream post-hoc)"))
+		}
+		streamFile, err = os.Create(*traceStream)
+		fatal(err)
+		if *streamBuffered {
+			cfg.Trace = core.NewTracer()
+		} else {
+			cfg.Trace = core.NewStreamTracer(core.NewStreamWriter(streamFile))
+		}
+	} else if *trace != "" || *profile != "" {
 		cfg.Trace = core.NewTracer()
+	}
+	var progressFlush func() error
+	if *progressEvery != "" {
+		every, err := sim.ParseDur(*progressEvery)
+		fatal(err)
+		out := os.Stderr
+		if *progress != "" && *progress != "-" {
+			f, err := os.Create(*progress)
+			fatal(err)
+			out = f
+		}
+		bw := bufio.NewWriter(out)
+		cfg.Progress = &core.Progress{Every: every, Emit: core.NewBufferedHeartbeatWriter(bw)}
+		progressFlush = bw.Flush
+	} else if *progress != "" {
+		fatal(fmt.Errorf("-progress requires -progress-every"))
+	}
+	if *flightRec != "" {
+		cfg.FlightRing = *flightRing
 	}
 
 	var prog core.Program
@@ -151,10 +193,45 @@ func main() {
 		fatal(fmt.Errorf("unknown app %q", *app))
 	}
 
-	rep, err := core.Run(cfg, prog)
+	rt, err := core.NewRuntime(cfg)
 	fatal(err)
+	rep, runErr := rt.Execute(prog)
+	// Observers finish regardless of how the run ended: heartbeats flush,
+	// and a streamed trace gets its end record (the stream stays a valid,
+	// analyzable artifact even for a failed run).
+	if progressFlush != nil {
+		fatal(progressFlush())
+	}
+	if streamFile != nil {
+		var makespan sim.Time
+		if rep != nil {
+			makespan = sim.Time(rep.Elapsed)
+		}
+		if *streamBuffered {
+			fatal(cfg.Trace.WriteStream(streamFile, makespan))
+		} else {
+			fatal(cfg.Trace.CloseStream(makespan))
+		}
+		fatal(streamFile.Close())
+	}
+	if runErr != nil {
+		if *flightRec != "" {
+			if st := rt.Stall(); st != nil {
+				f, err := os.Create(*flightRec)
+				fatal(err)
+				fatal(st.WriteJSON(f))
+				fatal(f.Close())
+				fmt.Fprintf(os.Stderr, "impacc-run: flight recorder (%s, parked: %s) -> %s\n",
+					st.Reason, strings.Join(st.ParkedRanks(), " "), *flightRec)
+			}
+		}
+		fatal(runErr)
+	}
 	rep.Print(os.Stdout)
 	fmt.Printf("  per-task: comm max %v, kernel mean %v\n", rep.MaxComm(), rep.MeanKernel())
+	if *traceStream != "" {
+		fmt.Printf("  trace stream -> %s\n", *traceStream)
+	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		fatal(err)

@@ -41,6 +41,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		queueCap   = fs.Int("queue", 16, "admission queue capacity (full queue returns 429)")
 		cacheBytes = fs.Int64("cache-bytes", 64<<20, "result cache byte bound (LRU eviction)")
 		retryAfter = fs.Int("retry-after", 1, "Retry-After seconds advertised on 429")
+		progEvery  = fs.String("progress-every", "1ms", "default virtual-time heartbeat interval for /events feeds (per-job progress_every overrides)")
+		flightRing = fs.Int("flight-ring", 64, "per-shard stall flight recorder depth armed on every run")
 		maxVTime   = fs.String("max-vtime", "10s", "fail any job past this much virtual time (0 = unlimited)")
 		maxEvents  = fs.Int64("max-events", 50_000_000, "fail any job past this many simulation events (0 = unlimited)")
 		maxAlloc   = fs.Int64("max-alloc", 1<<31, "fail any job past this many task heap bytes (0 = unlimited)")
@@ -61,11 +63,23 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	limits.MaxEvents = *maxEvents
 	limits.MaxAllocBytes = *maxAlloc
 
+	var every sim.Dur
+	if *progEvery != "" {
+		d, err := sim.ParseDur(*progEvery)
+		if err != nil {
+			fmt.Fprintf(stderr, "impacc-serve: progress-every: %v\n", err)
+			return 2
+		}
+		every = d
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:       *workers,
 		QueueCap:      *queueCap,
 		CacheBytes:    *cacheBytes,
 		RetryAfterSec: *retryAfter,
+		ProgressEvery: every,
+		FlightRing:    *flightRing,
 		Limits:        limits,
 	})
 	srv.Start()

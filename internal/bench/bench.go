@@ -47,6 +47,12 @@ type Options struct {
 	// points concurrently, ParSim parallelizes inside one simulation. Like
 	// Jobs it never changes a simulated byte.
 	ParSim int
+	// FlightRing, when positive, arms the per-shard stall flight recorder
+	// (core.Config.FlightRing) on every leaf run; a run that ends
+	// abnormally — cancelled, capped by Limits, deadlocked — decorates its
+	// error with the parked ranks so a failed sweep names the stuck
+	// processes instead of just the limit it hit.
+	FlightRing int
 
 	// gate, when non-nil, bounds concurrent simulations (see WithJobs).
 	gate chan struct{}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,12 +39,24 @@ func runGated(opt Options, cfg core.Config, prog core.Program) (*core.Report, er
 	if cfg.Parallel == 0 {
 		cfg.Parallel = opt.ParSim
 	}
+	if cfg.FlightRing == 0 {
+		cfg.FlightRing = opt.FlightRing
+	}
 	if opt.Prof != nil && cfg.Trace == nil {
 		cfg.Trace = core.NewTracer()
 	}
-	rep, err := core.Run(cfg, prog)
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := rt.Execute(prog)
 	if err == nil && opt.Prof != nil {
 		opt.Prof.Add(rep.Prof)
+	}
+	if err != nil {
+		if st := rt.Stall(); st != nil {
+			err = fmt.Errorf("%w (flight recorder: parked %s)", err, strings.Join(st.ParkedRanks(), " "))
+		}
 	}
 	return rep, err
 }

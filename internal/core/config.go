@@ -142,6 +142,17 @@ type Config struct {
 	// field is excluded from the canonical content hash. Values below 1
 	// mean serial.
 	Parallel int
+	// Progress, when non-nil, emits deterministic virtual-time heartbeats
+	// every Progress.Every of virtual time (see Progress). An observer like
+	// Trace/Metrics/Parallel: never changes what the run simulates, excluded
+	// from the canonical content hash.
+	Progress *Progress
+	// FlightRing, when positive, arms a per-shard flight recorder keeping
+	// the most recent FlightRing dispatched-event stamps; a run that ends
+	// abnormally (cancel, deadlock, limits, causality panic) then exposes a
+	// stall dump through Runtime.Stall. An observer: hash-excluded, zero
+	// simulation-visible effect.
+	FlightRing int
 }
 
 // validate normalizes and checks the configuration.
@@ -167,6 +178,14 @@ func (c *Config) validate() error {
 	}
 	if c.Overheads.Alias == 0 {
 		c.Overheads.Alias = 1000
+	}
+	if c.Progress != nil {
+		if c.Progress.Every <= 0 {
+			return fmt.Errorf("core: Config.Progress.Every must be positive")
+		}
+		if c.Progress.Emit == nil {
+			return fmt.Errorf("core: Config.Progress.Emit is required")
+		}
 	}
 	return nil
 }

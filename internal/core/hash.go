@@ -28,11 +28,12 @@ const ConfigHashScheme = "impacc-cfg-v1"
 // byte-identical runs, which — runs being deterministic — makes the string
 // a content address for the run's results.
 //
-// Observer-only pointers (Trace, Metrics) are deliberately excluded: they
-// change what is recorded about a run, never the simulated bytes. Parallel
-// is excluded for the same reason: the sharded engine produces byte-identical
-// output for every worker count, so serial and parallel submissions of the
-// same job share one content address.
+// Observer-only fields (Trace, Metrics, Progress, FlightRing) are
+// deliberately excluded: they change what is recorded about a run, never
+// the simulated bytes. Parallel is excluded for the same reason: the
+// sharded engine produces byte-identical output for every worker count, so
+// serial and parallel submissions of the same job share one content
+// address.
 func (c *Config) CanonicalString() string {
 	var b strings.Builder
 	w := func(k, v string) {

@@ -16,6 +16,7 @@ const MPILatencyNs = "core_mpi_latency_ns"
 // Histograms are created lazily per (rank, op) so only ops a task actually
 // issues allocate series.
 func (t *Task) mpiObserve(op string, start sim.Time) {
+	t.phase = "mpi:" + op
 	h := t.mpiLat[op]
 	if h == nil {
 		h = t.eng().Metrics.Histogram(MPILatencyNs,

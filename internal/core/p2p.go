@@ -312,7 +312,7 @@ func (t *Task) enqueueUnifiedMPI(name string, q int, init func(p *sim.Proc) *msg
 			// The queued operation observes its own command: its span is
 			// recorded on the stream lane under the command's trace ID, so
 			// message edges point at the stream activity, not the host.
-			tr.claim(t.pl.Node, cmd.TraceID, cmd.TraceID)
+			tr.claim(t.pl.Node, cmd.TraceID, cmd.TraceID, p.Now())
 		}
 		cmd.Done.OnFire(func() {
 			// Latency of the queued op itself: from when the queue
@@ -402,7 +402,7 @@ func (t *Task) Waitany(reqs ...*Request) int {
 			if r.done.Fired() {
 				if r.cmd != nil {
 					if tr := t.rt.Cfg.Trace; tr != nil && lastWait != 0 && r.cmd.TraceID != 0 {
-						tr.claim(t.pl.Node, r.cmd.TraceID, lastWait)
+						tr.claim(t.pl.Node, r.cmd.TraceID, lastWait, t.proc.Now())
 					}
 					t.checkCmd(r.cmd)
 				}

@@ -40,8 +40,32 @@ type HubReport struct {
 	PCIeBusy                          []sim.Dur
 }
 
+// RunInfo is the report's provenance block: enough of the run's identity
+// that an exported artifact describes itself. Every field is a pure
+// function of the Config content (worker count, tracing, and other
+// observers are deliberately absent — they never change simulated bytes,
+// so they must not change report bytes either).
+type RunInfo struct {
+	// Scheme is the canonical Config encoding tag (ConfigHashScheme) and
+	// Hash the content address under it — the same key impacc-serve caches
+	// by.
+	Scheme string
+	Hash   string
+	// System is the topology preset the run simulated.
+	System string
+	// Shards is the sharded engine's shard count — a property of the
+	// configuration (one shard per node when the fabric offers lookahead),
+	// not of the -par-sim worker count.
+	Shards int
+	// Chaos is the canonical fault-injection spec; empty on healthy runs.
+	Chaos string
+	// Limits are the run's resource caps (zero fields unlimited).
+	Limits Limits
+}
+
 // Report summarizes a run.
 type Report struct {
+	Run     RunInfo
 	Mode    Mode
 	System  string
 	NTasks  int
@@ -58,9 +82,19 @@ type Report struct {
 
 func (rt *Runtime) buildReport() *Report {
 	r := &Report{
+		Run: RunInfo{
+			Scheme: ConfigHashScheme,
+			Hash:   rt.Cfg.Hash(),
+			System: rt.Cfg.System.Name,
+			Shards: rt.group.Shards(),
+			Limits: rt.Cfg.Limits,
+		},
 		Mode:   rt.Cfg.Mode,
 		System: rt.Cfg.System.Name,
 		NTasks: len(rt.tasks),
+	}
+	if rt.Cfg.Chaos != nil {
+		r.Run.Chaos = rt.Cfg.Chaos.String()
 	}
 	for _, t := range rt.tasks {
 		tr := TaskReport{
@@ -108,9 +142,12 @@ func (rt *Runtime) buildReport() *Report {
 	reg := rt.runMetrics()
 	rt.Fab.RecordUtilization(reg, r.Elapsed)
 	r.Metrics = reg.Snapshot(int64(rt.group.MaxNow()))
-	if rt.Cfg.Trace != nil {
-		rt.Cfg.Trace.AttachMetrics(r.Metrics)
-		r.Prof = prof.Analyze(rt.Cfg.Trace.Data(sim.Time(r.Elapsed)), prof.DefaultTopSites)
+	if tr := rt.Cfg.Trace; tr != nil && !tr.Streaming() {
+		// A streaming tracer has already shipped (and dropped) its records,
+		// so the in-memory views backing the profile are gone by design;
+		// analyze a streamed file post-hoc with prof.ReadStream instead.
+		tr.AttachMetrics(r.Metrics)
+		r.Prof = prof.Analyze(tr.Data(sim.Time(r.Elapsed)), prof.DefaultTopSites)
 	}
 	return r
 }

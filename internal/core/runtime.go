@@ -72,7 +72,19 @@ type Runtime struct {
 	// Limits.MaxAllocBytes cap, atomically since tasks allocate from
 	// concurrent shards.
 	allocBytes atomic.Int64
+	// beatSeq numbers emitted progress heartbeats (coordinator-only state).
+	beatSeq int
 }
+
+// defaultStreamFlushBeat bounds the streaming tracer's memory on runs with
+// no natural window barriers (single shard): flush at least once per
+// millisecond of virtual time.
+const defaultStreamFlushBeat = sim.Dur(1_000_000)
+
+// Stall returns the flight recorder's dump after an Execute that ended
+// abnormally with Config.FlightRing armed; nil after a clean run or when
+// disarmed. See sim.StallReport.
+func (rt *Runtime) Stall() *sim.StallReport { return rt.group.Stall() }
 
 // depositSplit records one member's (color, key) for a split instance.
 func (rt *Runtime) depositSplit(commID, seq, commRank, color, key int) {
@@ -157,6 +169,24 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	if cfg.Limits.MaxEvents > 0 {
 		rt.group.MaxEvents = uint64(cfg.Limits.MaxEvents)
+	}
+	if cfg.Progress != nil {
+		rt.group.BeatEvery = cfg.Progress.Every
+		rt.group.OnBeat = rt.emitHeartbeat
+	}
+	if tr := cfg.Trace; tr != nil && tr.Streaming() {
+		// Flush the streaming tracer at every window barrier: the fence
+		// guarantee makes the flushed prefix final. A single-shard run has
+		// no natural barriers (one window to completion), so give it beats
+		// purely as flush points — window structure never changes simulated
+		// bytes, only when memory is released.
+		rt.group.OnWindow = tr.FlushWindow
+		if len(rt.shards) == 1 && rt.group.BeatEvery == 0 {
+			rt.group.BeatEvery = defaultStreamFlushBeat
+		}
+	}
+	if cfg.FlightRing > 0 {
+		rt.group.ArmFlight(cfg.FlightRing)
 	}
 	rt.Fab = topo.NewShardedFabric(perNode, cfg.System)
 	if cfg.Chaos != nil {

@@ -33,6 +33,10 @@ type Task struct {
 
 	commTime sim.Dur
 	hostTime sim.Dur
+	// phase is the task's last observed activity ("compute", "accwait",
+	// "mpi:<op>"), written only by the task's own process and read by the
+	// progress observer at beat barriers (which order the accesses).
+	phase string
 	// mpiLat caches the task's per-op MPI latency histograms.
 	mpiLat  map[string]*telemetry.Histogram
 	endAt   sim.Time
@@ -281,6 +285,7 @@ func (t *Task) Busy(d sim.Dur) {
 		f := 1 + t.rt.Cfg.JitterPct/100*(2*t.rng.Float64()-1)
 		d = sim.Dur(float64(d) * f)
 	}
+	t.phase = "compute"
 	start := t.proc.Now()
 	t.proc.Sleep(d)
 	t.hostTime += d
@@ -348,6 +353,7 @@ func (t *Task) Kernels(spec device.KernelSpec, async int) {
 // ACCWait is "#pragma acc wait(q)": drains queued device work and any MPI
 // operations in flight on queue q.
 func (t *Task) ACCWait(q int) {
+	t.phase = "accwait"
 	start := t.proc.Now()
 	t.uqBarrier(q)
 	t.env.Wait(t.proc, q)
@@ -363,6 +369,7 @@ func (t *Task) ACCWaitAll() {
 		}
 	}
 	sort.Ints(qs)
+	t.phase = "accwait"
 	start := t.proc.Now()
 	for _, q := range qs {
 		t.uqBarrier(q)

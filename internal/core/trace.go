@@ -28,6 +28,34 @@ type rawEdge struct {
 	bytes    int64
 }
 
+// Record kinds of streamRec.
+const (
+	recSpan = uint8(iota)
+	recEdge
+	recClaim
+)
+
+// streamRec is one entry of a lane's unified record log: a closed span, a
+// causal edge, or a command claim. Every record carries its stamp — the
+// virtual instant it was appended (a span's end, an edge's match time, a
+// claim's claim time) — plus a lane-local sequence number. Records are only
+// ever appended at the owning engine's current time and the clock never
+// moves backwards, so stamps are non-decreasing within a lane; the total
+// order (stamp, node, seq) is therefore the canonical stream order, and any
+// window fence F splits every lane's log exactly: records below F are final,
+// and anything recorded later lands at or above F. That split is what lets
+// the streaming sink flush incrementally yet stay byte-identical to a full
+// post-run sort (see FlushWindow / WriteStream).
+type streamRec struct {
+	at   sim.Time
+	seq  uint64
+	kind uint8
+	span Span    // recSpan
+	edge rawEdge // recEdge
+	// recClaim: command trace ID and the span that claimed it.
+	cmd, claimed uint64
+}
+
 // traceLane is the slice of the trace owned by one node. Under sharded
 // execution every node's events run on that node's engine, so routing each
 // append to the recording node's lane keeps the tracer lock-free: a lane is
@@ -36,36 +64,73 @@ type rawEdge struct {
 // command IDs are rank-keyed and a rank lives on exactly one node, so they
 // shard along with the spans.
 type traceLane struct {
-	spans   []Span
-	edges   []rawEdge
+	node    int
+	recs    []streamRec
+	recSeq  uint64
 	nextID  uint64
-	claims  map[uint64]uint64 // command trace ID -> claiming span ID
+	claims  map[uint64]uint64 // command trace ID -> claiming span ID (buffered mode only)
 	pending map[int][]uint64  // rank -> posted, not-yet-claimed command IDs
+}
+
+// push appends one record, stamping it with the lane-local sequence.
+func (l *traceLane) push(r streamRec) {
+	l.recSeq++
+	r.seq = l.recSeq
+	l.recs = append(l.recs, r)
 }
 
 // Tracer collects execution spans and causal edges when attached via
 // Config.Trace. Each node's activity lands in its own lane (see traceLane);
 // trace IDs embed the lane index so they stay unique and deterministic
 // without cross-shard coordination.
+//
+// A tracer runs in one of two modes. Buffered (NewTracer) retains every
+// record, so the post-run views — Data, Spans, WriteJSON, WriteChromeTrace,
+// WriteStream — all work. Streaming (NewStreamTracer) flushes records to a
+// SpanSink at window barriers and drops them, bounding memory by the
+// densest window instead of the whole run; the in-memory views are then
+// empty, and the sink receives exactly the bytes WriteStream would have
+// produced from a buffered run of the same job.
 type Tracer struct {
 	lanes   []*traceLane // indexed by node; lane 0 always exists
 	metrics *telemetry.Snapshot
+
+	sink       SpanSink         // non-nil in streaming mode
+	sinkErr    error            // first sink failure; recording continues, flushing stops
+	batch      []prof.StreamRec // flush scratch, reused across windows
+	maxFlushed sim.Time         // latest stamp handed to the sink
 }
 
-// NewTracer returns an empty tracer.
+// NewTracer returns an empty buffered tracer.
 func NewTracer() *Tracer {
 	tr := &Tracer{}
 	tr.Reserve(1)
 	return tr
 }
 
+// NewStreamTracer returns a tracer that flushes records to sink at window
+// barriers instead of retaining them (see Tracer). The runtime drives it
+// through FlushWindow and the caller finalizes it with CloseStream.
+func NewStreamTracer(sink SpanSink) *Tracer {
+	tr := &Tracer{sink: sink}
+	tr.Reserve(1)
+	return tr
+}
+
+// Streaming reports whether the tracer flushes to a sink (and therefore
+// cannot serve the in-memory post-run views).
+func (tr *Tracer) Streaming() bool { return tr.sink != nil }
+
 // Reserve sizes the tracer for nodes lanes. The runtime calls it before the
 // run starts; once concurrent shards are recording, the lane set must not
 // grow, so all growth happens here.
 func (tr *Tracer) Reserve(nodes int) {
 	for len(tr.lanes) < nodes {
-		tr.lanes = append(tr.lanes, &traceLane{
-			claims: map[uint64]uint64{}, pending: map[int][]uint64{}})
+		l := &traceLane{node: len(tr.lanes), pending: map[int][]uint64{}}
+		if tr.sink == nil {
+			l.claims = map[uint64]uint64{}
+		}
+		tr.lanes = append(tr.lanes, l)
 	}
 }
 
@@ -104,7 +169,8 @@ func (tr *Tracer) laneID(node int) uint64 {
 func (tr *Tracer) NewID() uint64 { return tr.laneID(0) }
 
 // record appends a span to its node's lane, allocating its ID when unset,
-// and returns the ID.
+// and returns the ID. The record is stamped with the span's end — the
+// instant the recording engine closed it.
 func (tr *Tracer) record(s Span) uint64 {
 	if s.ID == 0 {
 		s.ID = tr.laneID(s.Node)
@@ -113,23 +179,26 @@ func (tr *Tracer) record(s Span) uint64 {
 		s.End = s.Start
 	}
 	l := tr.lane(s.Node)
-	l.spans = append(l.spans, s)
+	l.push(streamRec{at: s.End, kind: recSpan, span: s})
 	return s.ID
 }
 
 // msgEdge records a send→recv match on the matching node's lane: from/to
 // are command trace IDs, post is when the sender initiated the operation,
-// at the match instant.
+// at the match instant (which stamps the record).
 func (tr *Tracer) msgEdge(node int, from, to uint64, post, at sim.Time, bytes int64) {
 	l := tr.lane(node)
-	l.edges = append(l.edges, rawEdge{kind: "msg", from: from, to: to, post: post, at: at, bytes: bytes})
+	l.push(streamRec{at: at, kind: recEdge,
+		edge: rawEdge{kind: "msg", from: from, to: to, post: post, at: at, bytes: bytes}})
 }
 
 // depEdge records a stream or event ordering edge between span IDs on the
-// owning node's lane.
+// owning node's lane. at must be the recording engine's current time (every
+// call site passes a now-derived stamp).
 func (tr *Tracer) depEdge(node int, kind string, from, to uint64, at sim.Time) {
 	l := tr.lane(node)
-	l.edges = append(l.edges, rawEdge{kind: kind, from: from, to: to, at: at})
+	l.push(streamRec{at: at, kind: recEdge,
+		edge: rawEdge{kind: kind, from: from, to: to, at: at}})
 }
 
 // registerPending notes a command posted by rank (hosted on node) whose
@@ -146,24 +215,31 @@ func (tr *Tracer) pendingMark(node, rank int) int { return len(tr.lane(node).pen
 // inner blocking call keeps its precise span even when an enclosing
 // collective sweeps the region afterwards. Commands are only ever claimed
 // by the rank that posted them, so the claim lands on that rank's lane.
-func (tr *Tracer) claim(node int, cmdID, spanID uint64) {
+// Every claim call is logged (stamped with at, the claiming instant); the
+// first-wins rule is applied by the claims map in buffered mode and by the
+// stream reader in claim order, which agree because a command's claims all
+// land on one lane, where record order is claim order.
+func (tr *Tracer) claim(node int, cmdID, spanID uint64, at sim.Time) {
 	l := tr.lane(node)
-	if _, ok := l.claims[cmdID]; !ok {
-		l.claims[cmdID] = spanID
+	l.push(streamRec{at: at, kind: recClaim, cmd: cmdID, claimed: spanID})
+	if l.claims != nil {
+		if _, ok := l.claims[cmdID]; !ok {
+			l.claims[cmdID] = spanID
+		}
 	}
 }
 
 // claimSince claims every command rank posted after mark for spanID — the
 // bracket used by collectives, whose internal sends and receives all belong
 // to one host span.
-func (tr *Tracer) claimSince(node, rank, mark int, spanID uint64) {
+func (tr *Tracer) claimSince(node, rank, mark int, spanID uint64, at sim.Time) {
 	l := tr.lane(node)
 	pend := l.pending[rank]
 	if mark < 0 || mark > len(pend) {
 		return
 	}
 	for _, id := range pend[mark:] {
-		tr.claim(node, id, spanID)
+		tr.claim(node, id, spanID, at)
 	}
 	l.pending[rank] = pend[:mark]
 }
@@ -172,7 +248,11 @@ func (tr *Tracer) claimSince(node, rank, mark int, spanID uint64) {
 func (tr *Tracer) allSpans() []Span {
 	var out []Span
 	for _, l := range tr.lanes {
-		out = append(out, l.spans...)
+		for i := range l.recs {
+			if l.recs[i].kind == recSpan {
+				out = append(out, l.recs[i].span)
+			}
+		}
 	}
 	return out
 }
@@ -192,11 +272,15 @@ func (tr *Tracer) Spans() []Span {
 	return out
 }
 
-// Len reports the number of spans.
+// Len reports the number of retained spans (0 after streaming flushes).
 func (tr *Tracer) Len() int {
 	n := 0
 	for _, l := range tr.lanes {
-		n += len(l.spans)
+		for i := range l.recs {
+			if l.recs[i].kind == recSpan {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -206,9 +290,9 @@ func (tr *Tracer) Len() int {
 func (tr *Tracer) maxEnd() sim.Time {
 	var m sim.Time
 	for _, l := range tr.lanes {
-		for i := range l.spans {
-			if l.spans[i].End > m {
-				m = l.spans[i].End
+		for i := range l.recs {
+			if l.recs[i].kind == recSpan && l.recs[i].span.End > m {
+				m = l.recs[i].span.End
 			}
 		}
 	}
@@ -234,13 +318,13 @@ func (tr *Tracer) Data(makespan sim.Time) prof.Trace {
 		}
 		return id
 	}
-	var nEdges int
+	edges := make([]prof.Edge, 0)
 	for _, l := range tr.lanes {
-		nEdges += len(l.edges)
-	}
-	edges := make([]prof.Edge, 0, nEdges)
-	for _, l := range tr.lanes {
-		for _, e := range l.edges {
+		for i := range l.recs {
+			if l.recs[i].kind != recEdge {
+				continue
+			}
+			e := l.recs[i].edge
 			pe := prof.Edge{Kind: e.kind, From: e.from, To: e.to, At: e.at, Post: e.post, Bytes: e.bytes}
 			if e.kind == "msg" {
 				pe.From = resolve(e.from)
@@ -467,15 +551,16 @@ func (t *Task) mpiSpan(name string, start sim.Time, mark, peer int, bytes int64,
 	if tr == nil {
 		return 0
 	}
+	end := t.proc.Now()
 	id := tr.record(Span{Rank: t.rank, Node: t.pl.Node, Stream: -1, Kind: "mpi",
-		Name: name, Start: start, End: t.proc.Now(), Bytes: bytes, Peer: peer})
+		Name: name, Start: start, End: end, Bytes: bytes, Peer: peer})
 	for _, c := range cmds {
 		if c != nil && c.TraceID != 0 {
-			tr.claim(t.pl.Node, c.TraceID, id)
+			tr.claim(t.pl.Node, c.TraceID, id, end)
 		}
 	}
 	if mark >= 0 {
-		tr.claimSince(t.pl.Node, t.rank, mark, id)
+		tr.claimSince(t.pl.Node, t.rank, mark, id, end)
 	}
 	return id
 }

@@ -29,10 +29,10 @@ func buildGoldenTracer() *Tracer {
 		Start: 0, End: 1000, Peer: -1})
 	sendSpan := tr.record(Span{Rank: 0, Node: 0, Stream: -1, Kind: "mpi", Name: "send",
 		Start: 1000, End: 3000, Bytes: 4096, Peer: 1})
-	tr.claim(0, sendCmd, sendSpan)
+	tr.claim(0, sendCmd, sendSpan, 3000)
 	recvSpan := tr.record(Span{Rank: 1, Node: 1, Stream: -1, Kind: "mpi", Name: "recv",
 		Start: 500, End: 3200, Bytes: 4096, Peer: 0})
-	tr.claim(1, recvCmd, recvSpan)
+	tr.claim(1, recvCmd, recvSpan, 3200)
 	tr.msgEdge(1, sendCmd, recvCmd, 1000, 2500, 4096)
 
 	k := tr.laneID(0) // kernel enqueued on rank 0 queue 1

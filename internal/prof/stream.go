@@ -1,0 +1,171 @@
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"impacc/internal/sim"
+)
+
+// The trace stream is the bounded-memory export of a causal trace: one JSON
+// object per line, written incrementally while the run executes (core's
+// streaming tracer) or in one pass from a buffered tracer. The line order is
+// the canonical stream order (at, node, seq) — records merged across node
+// lanes by stamp — so the bytes are independent of how the producer batched
+// its flushes, and a streamed file compares byte-for-byte against a
+// buffered-then-exported one.
+//
+// Layout:
+//
+//	{"t":"stream","v":"impacc-trace-stream-v1"}   header, first line
+//	{"t":"span","node":N,"seq":S,"at":T,"span":{...}}
+//	{"t":"edge","node":N,"seq":S,"at":T,"edge":{...}}
+//	{"t":"claim","node":N,"seq":S,"at":T,"cmd":C,"sid":I}
+//	{"t":"end","makespan_ns":M}                   trailer, last line
+//
+// Claims bind a posted command's trace ID to the span that observed it; the
+// reader applies them first-wins in stream order, which matches the
+// producer's first-claim-wins rule because all claims of one command land on
+// one node lane, where stream order is claim order.
+
+// StreamVersion tags the stream header; readers reject other versions.
+const StreamVersion = "impacc-trace-stream-v1"
+
+// StreamRec is one record line of the trace stream.
+type StreamRec struct {
+	T    string `json:"t"` // span | edge | claim
+	Node int    `json:"node"`
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at"`
+	Span *Span  `json:"span,omitempty"` // t == "span"
+	Edge *Edge  `json:"edge,omitempty"` // t == "edge"
+	Cmd  uint64 `json:"cmd,omitempty"`  // t == "claim": command trace ID
+	Sid  uint64 `json:"sid,omitempty"`  // t == "claim": claiming span ID
+}
+
+// streamLine is the union shape used to parse any line of the stream.
+type streamLine struct {
+	StreamRec
+	V        string `json:"v,omitempty"`           // t == "stream"
+	Makespan int64  `json:"makespan_ns,omitempty"` // t == "end"
+}
+
+// ReadStream parses a trace stream and reassembles the same Trace the
+// producing tracer would have returned from its buffered Data view: spans
+// sorted by ID, edges in lane-major record order with message endpoints
+// resolved through first-wins claims, unresolvable edges dropped, and the
+// makespan clamped up to the latest record stamp.
+func ReadStream(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var (
+		recs     []StreamRec
+		makespan int64
+		sawHdr   bool
+		sawEnd   bool
+		lineNo   int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var l streamLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return Trace{}, fmt.Errorf("prof: trace stream line %d: %w", lineNo, err)
+		}
+		switch l.T {
+		case "stream":
+			if l.V != StreamVersion {
+				return Trace{}, fmt.Errorf("prof: trace stream version %q (want %q)", l.V, StreamVersion)
+			}
+			sawHdr = true
+		case "end":
+			makespan = l.Makespan
+			sawEnd = true
+		case "span", "edge", "claim":
+			if !sawHdr {
+				return Trace{}, fmt.Errorf("prof: trace stream line %d: record before header", lineNo)
+			}
+			recs = append(recs, l.StreamRec)
+		default:
+			return Trace{}, fmt.Errorf("prof: trace stream line %d: unknown record type %q", lineNo, l.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("prof: trace stream: %w", err)
+	}
+	if !sawHdr {
+		return Trace{}, fmt.Errorf("prof: trace stream: missing header")
+	}
+	if !sawEnd {
+		return Trace{}, fmt.Errorf("prof: trace stream: truncated (no end record)")
+	}
+	return assembleStream(recs, sim.Time(makespan)), nil
+}
+
+// assembleStream mirrors the buffered tracer's Data: same span order, same
+// edge order, same claim resolution.
+func assembleStream(recs []StreamRec, makespan sim.Time) Trace {
+	var spans []Span
+	claims := map[uint64]uint64{}
+	for i := range recs {
+		switch recs[i].T {
+		case "span":
+			if recs[i].Span != nil {
+				spans = append(spans, *recs[i].Span)
+			}
+		case "claim":
+			if _, ok := claims[recs[i].Cmd]; !ok {
+				claims[recs[i].Cmd] = recs[i].Sid
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+	ids := make(map[uint64]bool, len(spans))
+	for i := range spans {
+		ids[spans[i].ID] = true
+	}
+	resolve := func(id uint64) uint64 {
+		if sp, ok := claims[id]; ok && ids[sp] {
+			return sp
+		}
+		return id
+	}
+	// Edges come back in lane-major record order — the buffered Data order —
+	// by sorting on (node, seq); the stream itself is stamp-major.
+	var raw []StreamRec
+	for i := range recs {
+		if recs[i].T == "edge" && recs[i].Edge != nil {
+			raw = append(raw, recs[i])
+		}
+	}
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].Node != raw[j].Node {
+			return raw[i].Node < raw[j].Node
+		}
+		return raw[i].Seq < raw[j].Seq
+	})
+	edges := make([]Edge, 0)
+	for i := range raw {
+		e := *raw[i].Edge
+		if e.Kind == "msg" {
+			e.From = resolve(e.From)
+			e.To = resolve(e.To)
+		}
+		if !ids[e.From] || !ids[e.To] {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	for i := range spans {
+		if spans[i].End > makespan {
+			makespan = spans[i].End
+		}
+	}
+	return Trace{Makespan: makespan, Spans: spans, Edges: edges}
+}

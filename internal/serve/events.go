@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The events feed replays one job's lifecycle as Server-Sent Events:
+// "state" events for queued → running → terminal transitions and
+// "heartbeat" events carrying the run's deterministic virtual-time progress
+// snapshots (core.Progress). Every event is appended to the job's log under
+// the server mutex and broadcast by closing-and-replacing the job's notify
+// channel, so any number of subscribers replay the full history and then
+// follow live with no per-subscriber state on the server. Event *timing* is
+// wall-clock (the run executes in real time); event *content* is purely
+// virtual — the same job produces the same event payloads on every server.
+
+// event is one entry of a job's append-only event log.
+type event struct {
+	typ  string // state | heartbeat
+	data []byte // rendered JSON payload
+}
+
+// appendEventLocked logs one event and wakes every follower. The caller
+// holds mu. Payloads are rendered immediately so followers never touch live
+// job state.
+func (s *Server) appendEventLocked(j *job, typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Status and Heartbeat are plain data; a marshal failure is a
+		// programming error, but a broken feed beats a dead server.
+		data = []byte(`{"error":"event marshal failed"}`)
+	}
+	j.events = append(j.events, event{typ: typ, data: data})
+	close(j.eventCh)
+	j.eventCh = make(chan struct{})
+}
+
+// terminalState reports whether state is one of the three terminal states.
+func terminalState(state string) bool {
+	return state == stateDone || state == stateFailed || state == stateCancelled
+}
+
+// handleEvents streams a job's event log as SSE: full replay, then live
+// follow until the job reaches a terminal state (the final "state" event)
+// or the client disconnects. A key known only from the cache replays a
+// single synthetic done event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j := s.jobs[key]
+	if j == nil {
+		if s.cache.entries[key] == nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusNotFound, apiError{"unknown job"})
+			return
+		}
+		st := s.statusLocked(key)
+		s.mu.Unlock()
+		data, _ := json.Marshal(st)
+		writeSSEHeader(w)
+		writeSSEEvent(w, "state", data)
+		return
+	}
+	s.mu.Unlock()
+
+	writeSSEHeader(w)
+	fl, _ := w.(http.Flusher)
+	next := 0
+	for {
+		s.mu.Lock()
+		pending := make([]event, len(j.events)-next)
+		copy(pending, j.events[next:])
+		next = len(j.events)
+		ch := j.eventCh
+		terminal := terminalState(j.state)
+		s.mu.Unlock()
+		for _, e := range pending {
+			writeSSEEvent(w, e.typ, e.data)
+		}
+		if len(pending) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			// The terminal "state" event is appended before the state field
+			// settles readers' view (both under mu), so draining after
+			// observing a terminal state means the log is complete.
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSEHeader(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+}
+
+// writeSSEEvent emits one event in SSE wire form. Payloads are single-line
+// JSON (json.Marshal never emits newlines), so one data: line suffices.
+func writeSSEEvent(w http.ResponseWriter, typ string, data []byte) {
+	w.Write([]byte("event: " + typ + "\n"))
+	w.Write([]byte("data: "))
+	w.Write(data)
+	w.Write([]byte("\n\n"))
+}

@@ -9,8 +9,9 @@ import (
 // Handler returns the server's HTTP API:
 //
 //	POST   /v1/jobs              submit a JobSpec (?wait=1 blocks until terminal)
-//	GET    /v1/jobs              list known jobs
+//	GET    /v1/jobs              list known jobs (?status= filters by state)
 //	GET    /v1/jobs/{key}        job status
+//	GET    /v1/jobs/{key}/events       live SSE feed: state changes + heartbeats
 //	GET    /v1/jobs/{key}/report       full report, JSON
 //	GET    /v1/jobs/{key}/report.txt   human-readable report
 //	GET    /v1/jobs/{key}/profile      mpiP-style profile, JSON
@@ -23,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{key}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{key}/{artifact}", s.handleArtifact)
 	mux.HandleFunc("DELETE /v1/jobs/{key}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -71,8 +73,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.List())
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("status")
+	switch state {
+	case "", stateQueued, stateRunning, stateDone, stateFailed, stateCancelled:
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			apiError{"unknown status filter (queued, running, done, failed, cancelled)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.List(state))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -132,7 +142,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // taken under it too.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	snap := s.reg.Snapshot(nowNanos())
+	now := nowNanos()
+	s.refreshAgeLocked(now)
+	snap := s.reg.Snapshot(now)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap.WritePrometheus(w)

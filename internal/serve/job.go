@@ -19,6 +19,7 @@ import (
 	"impacc/internal/apps"
 	"impacc/internal/core"
 	"impacc/internal/fault"
+	"impacc/internal/sim"
 	"impacc/internal/topo"
 )
 
@@ -48,6 +49,12 @@ type JobSpec struct {
 	// content address: serial and parallel submissions of the same job
 	// coalesce onto one cache entry.
 	ParSim int `json:"par_sim,omitempty"`
+	// ProgressEvery is the virtual-time heartbeat interval for the job's
+	// /events feed, as a duration literal ("250us", "1ms"). Like ParSim it
+	// is an observer knob — heartbeats never change simulated bytes — so it
+	// too is excluded from the content address. Empty takes the server
+	// default.
+	ProgressEvery string `json:"progress_every,omitempty"`
 }
 
 // compiled is a JobSpec resolved against defaults: a runnable configuration,
@@ -57,6 +64,9 @@ type compiled struct {
 	cfg      core.Config // observers (Trace, Metrics) unset; the worker attaches fresh ones per run
 	prog     core.Program
 	identity string // canonical program identity folded into the key
+	// progressEvery is the parsed heartbeat interval (0 = server default).
+	// An observer setting, so not folded into key.
+	progressEvery sim.Dur
 }
 
 var epClasses = map[string]apps.EPClass{
@@ -116,6 +126,16 @@ func compile(spec JobSpec) (*compiled, error) {
 	}
 
 	c := &compiled{cfg: cfg}
+	if spec.ProgressEvery != "" {
+		d, err := sim.ParseDur(spec.ProgressEvery)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad progress_every: %v", err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("serve: progress_every must be positive")
+		}
+		c.progressEvery = d
+	}
 	n := spec.N
 	if n == 0 {
 		n = 1024

@@ -33,7 +33,25 @@ type Config struct {
 	Limits core.Limits
 	// RetryAfterSec is the Retry-After hint on 429 responses (default 1).
 	RetryAfterSec int
+	// ProgressEvery is the default virtual-time heartbeat interval for the
+	// /events feeds (default 1ms virtual); a job's progress_every field
+	// overrides it. Observer-only: never part of the content address.
+	ProgressEvery sim.Dur
+	// FlightRing is the per-shard recent-event ring depth armed on every
+	// run (default 64), so abnormal ends carry a stall post-mortem.
+	FlightRing int
 }
+
+// defaultHeartbeatEvery is the virtual-time progress interval attached to
+// every run (overridable per job via the progress_every spec field).
+// Heartbeat content is a pure function of the simulation, so the interval —
+// like tracing — never affects the job's content address or artifacts.
+const defaultHeartbeatEvery = sim.Dur(1_000_000) // 1ms virtual
+
+// defaultFlightRing is the per-shard recent-event ring armed on every run,
+// so an abnormal end (cancel, limit, causality panic) always yields a stall
+// post-mortem in the terminal status.
+const defaultFlightRing = 64
 
 // Job lifecycle states.
 const (
@@ -57,6 +75,13 @@ type job struct {
 	done       chan struct{}
 	enqueuedAt int64 // wall ns, latency telemetry only
 	startedAt  int64
+	// stall is the flight recorder's post-mortem when the run ended
+	// abnormally (cancel, limit, causality panic); nil on clean runs.
+	stall *sim.StallReport
+	// events is the job's append-only SSE log; eventCh is closed and
+	// replaced on every append to wake followers. See events.go.
+	events  []event
+	eventCh chan struct{}
 }
 
 // Status is the wire form of a job's state.
@@ -67,6 +92,11 @@ type Status struct {
 	Error     string   `json:"error,omitempty"`
 	Spec      *JobSpec `json:"spec,omitempty"`
 	Artifacts []string `json:"artifacts,omitempty"`
+	// Stall is the flight recorder's dump of the moment an abnormal run
+	// stopped: recent events per shard and which processes were parked on
+	// what. Present only on failed/cancelled jobs whose runtime got far
+	// enough to record it.
+	Stall *sim.StallReport `json:"stall,omitempty"`
 }
 
 // Server is the simulation job service: a bounded queue feeding a worker
@@ -94,6 +124,7 @@ type Server struct {
 	gQueue     *telemetry.Gauge
 	gBytes     *telemetry.Gauge
 	gEntries   *telemetry.Gauge
+	gAge       *telemetry.Gauge
 	hQueue     *telemetry.Histogram
 	hRun       *telemetry.Histogram
 	hRender    *telemetry.Histogram
@@ -114,6 +145,12 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfterSec <= 0 {
 		cfg.RetryAfterSec = 1
 	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = defaultHeartbeatEvery
+	}
+	if cfg.FlightRing <= 0 {
+		cfg.FlightRing = defaultFlightRing
+	}
 	reg := telemetry.NewRegistry()
 	s := &Server{
 		cfg:   cfg,
@@ -131,6 +168,7 @@ func New(cfg Config) *Server {
 		mRunsFail:  reg.Counter("serve_runs_failed_total", "executed simulations that ended in error"),
 		mCancelled: reg.Counter("serve_jobs_cancelled_total", "jobs cancelled before or during execution"),
 		gQueue:     reg.Gauge("serve_queue_depth", "jobs admitted but not yet running"),
+		gAge:       reg.Gauge("serve_job_age_seconds", "age of the oldest queued or running job (0 when idle)"),
 		gBytes:     reg.Gauge("serve_cache_bytes", "bytes held by the result cache"),
 		gEntries:   reg.Gauge("serve_cache_entries", "results held by the cache"),
 		hQueue:     reg.Histogram("serve_phase_latency_ns", "per-phase wall latency", "phase", "queue"),
@@ -205,7 +243,7 @@ func (s *Server) Submit(spec JobSpec) (*Status, int, error) {
 	// New key, or a failed/cancelled/evicted one being resubmitted: either
 	// way the run starts fresh.
 	j := &job{spec: spec, comp: comp, state: stateQueued,
-		done: make(chan struct{}), enqueuedAt: nowNanos()}
+		done: make(chan struct{}), eventCh: make(chan struct{}), enqueuedAt: nowNanos()}
 	select {
 	case s.queue <- key:
 	default:
@@ -215,7 +253,9 @@ func (s *Server) Submit(spec JobSpec) (*Status, int, error) {
 	s.jobs[key] = j
 	s.mMisses.Inc()
 	s.gQueue.Set(float64(len(s.queue)))
-	return s.statusLocked(key), 202, nil
+	st := s.statusLocked(key)
+	s.appendEventLocked(j, "state", st)
+	return st, 202, nil
 }
 
 // Wait blocks until the job leaves the queue/run pipeline (done, failed, or
@@ -243,8 +283,9 @@ func (s *Server) Status(key string) (*Status, bool) {
 	return s.statusLocked(key), true
 }
 
-// List reports every known job, sorted by key (deterministic output).
-func (s *Server) List() []*Status {
+// List reports every known job, sorted by key (deterministic output). A
+// non-empty state filters to jobs in that lifecycle state.
+func (s *Server) List(state string) []*Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys := make([]string, 0, len(s.jobs))
@@ -252,9 +293,13 @@ func (s *Server) List() []*Status {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make([]*Status, len(keys))
-	for i, k := range keys {
-		out[i] = s.statusLocked(k)
+	out := make([]*Status, 0, len(keys))
+	for _, k := range keys {
+		st := s.statusLocked(k)
+		if state != "" && st.State != state {
+			continue
+		}
+		out = append(out, st)
 	}
 	return out
 }
@@ -315,6 +360,7 @@ func (s *Server) statusLocked(key string) *Status {
 		st.Cached = cached
 		st.Error = j.errMsg
 		st.Spec = &j.spec
+		st.Stall = j.stall
 	}
 	if cached {
 		res := s.cache.entries[key].res
@@ -347,11 +393,24 @@ func (s *Server) runJob(key string) {
 	j.state = stateRunning
 	j.startedAt = nowNanos()
 	s.hQueue.Observe(j.startedAt - j.enqueuedAt)
+	s.appendEventLocked(j, "state", s.statusLocked(key))
 	cfg := j.comp.cfg
 	if cfg.Limits == (core.Limits{}) {
 		cfg.Limits = s.cfg.Limits
 	}
 	cfg.Trace = core.NewTracer() // fresh observer per run; never shared
+	every := j.comp.progressEvery
+	if every <= 0 {
+		every = s.cfg.ProgressEvery
+	}
+	cfg.Progress = &core.Progress{Every: every, Emit: func(hb core.Heartbeat) {
+		// Runs between windows on the simulation's coordinator goroutine;
+		// the worker holds no locks during Execute, so taking mu is safe.
+		s.mu.Lock()
+		s.appendEventLocked(j, "heartbeat", hb)
+		s.mu.Unlock()
+	}}
+	cfg.FlightRing = s.cfg.FlightRing
 	prog := j.comp.prog
 	s.mu.Unlock()
 
@@ -386,6 +445,7 @@ func (s *Server) runJob(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.cancel = nil
+	j.stall = rt.Stall() // nil unless the run ended abnormally
 	s.hRun.Observe(renderStart - j.startedAt)
 	s.hRender.Observe(nowNanos() - renderStart)
 	var ce *sim.CancelError
@@ -417,6 +477,24 @@ func (s *Server) finishLocked(j *job, state, errMsg string, res *Result) {
 		s.gEntries.Set(float64(s.cache.len()))
 	}
 	close(j.done)
+	// The terminal event is appended after the state settles so followers
+	// that observe it under mu know the log is complete (see handleEvents).
+	s.appendEventLocked(j, "state", s.statusLocked(j.comp.key))
+}
+
+// refreshAgeLocked recomputes the oldest-live-job age gauge, the signal
+// that distinguishes a busy-but-moving server from a stuck one. The caller
+// holds mu.
+func (s *Server) refreshAgeLocked(now int64) {
+	oldest := int64(0)
+	for _, j := range s.jobs {
+		if j.state == stateQueued || j.state == stateRunning {
+			if age := now - j.enqueuedAt; age > oldest {
+				oldest = age
+			}
+		}
+	}
+	s.gAge.Set(float64(oldest) / 1e9)
 }
 
 // render serializes a run's artifacts exactly once. Every byte served for

@@ -559,7 +559,7 @@ func TestMetricsPreCreated(t *testing.T) {
 		"serve_jobs_coalesced_total", "serve_admission_rejected_total",
 		"serve_runs_total", "serve_runs_failed_total", "serve_jobs_cancelled_total",
 		"serve_queue_depth", "serve_cache_bytes", "serve_cache_entries",
-		"serve_phase_latency_ns",
+		"serve_job_age_seconds", "serve_phase_latency_ns",
 	} {
 		if !bytes.Contains(metrics, []byte(name)) {
 			t.Errorf("metric %s missing from /metrics", name)

@@ -41,8 +41,35 @@ type ShardGroup struct {
 	MaxTime   Time
 	MaxEvents uint64
 
+	// BeatEvery, when positive, divides virtual time into beat intervals
+	// and calls OnBeat at every boundary B = k*BeatEvery once every event
+	// at or before B has been dispatched on every shard. The window fence
+	// is clamped to B+1 so no shard runs past a pending boundary, which
+	// makes the observed state at B a pure function of the simulation —
+	// independent of worker count, shard count, and lookahead. Beats add
+	// barriers (wall-clock cost) but never change a simulated byte: window
+	// structure only decides when shards synchronize, not what they run.
+	BeatEvery Dur
+	// OnBeat receives each beat boundary, in increasing order, with every
+	// shard quiescent (the coordinator goroutine calls it between windows).
+	// Set it together with BeatEvery before Run.
+	OnBeat func(at Time)
+	// OnWindow, when non-nil, is called after every window barrier with the
+	// fence the window ran to: every event strictly before the fence has
+	// been dispatched on every shard, and every future record any shard
+	// produces will be stamped at or after it. Streaming observers use it
+	// to flush safely (see core's streaming tracer).
+	OnWindow func(fence Time)
+
 	budget    atomic.Int64
 	cancelled atomic.Bool
+	nextBeat  Time
+
+	// flightCap, when positive, arms a per-shard flight recorder of the
+	// most recent flightCap event stamps (see ArmFlight / Stall); stall
+	// holds the dump captured by Run on an abnormal end.
+	flightCap int
+	stall     *StallReport
 }
 
 // NewShardGroup builds a group over engines created with NewLPEngine (lp =
@@ -124,6 +151,7 @@ func (g *ShardGroup) Run() error {
 			err = &DeadlockError{Time: g.MaxNow(), Blocked: blocked}
 		}
 	}
+	g.captureStall(err)
 	for _, e := range g.engines {
 		e.unwindProcs()
 	}
@@ -142,6 +170,9 @@ func (g *ShardGroup) windows() error {
 	n := len(g.engines)
 	errs := make([]error, n)
 	active := make([]*Engine, 0, n)
+	if g.BeatEvery > 0 {
+		g.nextBeat = Time(g.BeatEvery)
+	}
 	for {
 		if g.cancelled.Load() {
 			return &CancelError{At: g.MaxNow()}
@@ -149,6 +180,22 @@ func (g *ShardGroup) windows() error {
 		T, ok := g.minNextAt()
 		if !ok {
 			return nil // drained
+		}
+		// Every beat boundary strictly before the next pending event is
+		// final: no event at or before it remains anywhere, so the state
+		// it observes can never change. Fire them in order before the
+		// deadline checks so a capped run still reports its last beats.
+		for g.BeatEvery > 0 && g.nextBeat < T {
+			if g.Deadline != 0 && g.nextBeat > g.Deadline {
+				break
+			}
+			if g.MaxTime != 0 && g.nextBeat > g.MaxTime {
+				break
+			}
+			if g.OnBeat != nil {
+				g.OnBeat(g.nextBeat)
+			}
+			g.nextBeat += Time(g.BeatEvery)
 		}
 		if g.Deadline != 0 && T > g.Deadline {
 			return &LimitError{Resource: "vtime", Limit: int64(g.Deadline), At: g.MaxNow()}
@@ -166,6 +213,13 @@ func (g *ShardGroup) windows() error {
 		if g.MaxTime != 0 && fence > g.MaxTime+1 {
 			fence = g.MaxTime + 1
 		}
+		// Clamp the window to the next beat boundary so no shard dispatches
+		// an event past a boundary before the boundary is observed. The
+		// fence stays strictly above T (nextBeat >= T here), so every
+		// window still makes progress.
+		if g.BeatEvery > 0 && fence > g.nextBeat+1 {
+			fence = g.nextBeat + 1
+		}
 		active = active[:0]
 		for _, e := range g.engines {
 			if at, ok := e.nextAt(); ok && at < fence {
@@ -182,17 +236,38 @@ func (g *ShardGroup) windows() error {
 		if g.halted() {
 			return nil // a shard halted (panic or Halt); stop the run
 		}
-		// Exchange cross-shard events in shard order; the (lp, seq) stamps
-		// injected here fix the merge order independent of flush order.
-		for _, e := range g.engines {
-			for i := range e.outbox {
-				re := e.outbox[i]
-				e.outbox[i] = remoteEvent{}
-				re.dst.inject(re.at, re.fn, re.lp, re.seq)
-			}
-			e.outbox = e.outbox[:0]
+		if g.OnWindow != nil {
+			g.OnWindow(fence)
+		}
+		if err := g.exchange(); err != nil {
+			return err
 		}
 	}
+}
+
+// exchange moves cross-shard events from outboxes into their destination
+// heaps in shard order; the (lp, seq) stamps injected here fix the merge
+// order independent of flush order. An IMPACC_SIM_CHECK causality panic
+// (an event landing in a destination shard's past — a lookahead bound
+// violation) is captured as a *PanicError so the run ends like any other
+// failed run: processes unwound, flight recorder dumpable, no panic
+// escaping to the host program. Engine.inject itself still panics, so
+// direct misuse keeps its loud failure mode.
+func (g *ShardGroup) exchange() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Proc: "shard-exchange", Value: r}
+		}
+	}()
+	for _, e := range g.engines {
+		for i := range e.outbox {
+			re := e.outbox[i]
+			e.outbox[i] = remoteEvent{}
+			re.dst.inject(re.at, re.fn, re.lp, re.seq)
+		}
+		e.outbox = e.outbox[:0]
+	}
+	return nil
 }
 
 // runWindow advances every active shard to the fence, on up to g.workers
@@ -223,6 +298,32 @@ func (g *ShardGroup) runWindow(active []*Engine, fence Time, errs []error) {
 		errs[e.lp] = e.runUntil(fence)
 	}
 }
+
+// NextAt exposes the group's global clock to observers: the earliest
+// pending event time across shards, false when drained. Only meaningful
+// with every shard quiescent (between windows — e.g. from OnBeat).
+func (g *ShardGroup) NextAt() (Time, bool) { return g.minNextAt() }
+
+// EachBlocked calls fn for every unfinished process on every shard, in
+// shard order then spawn order. Only meaningful with every shard quiescent.
+func (g *ShardGroup) EachBlocked(fn func(name, blockedOn string)) {
+	for _, e := range g.engines {
+		e.EachBlocked(fn)
+	}
+}
+
+// LiveProcs reports the number of spawned, unfinished processes across
+// shards.
+func (g *ShardGroup) LiveProcs() int {
+	n := 0
+	for _, e := range g.engines {
+		n += e.Live()
+	}
+	return n
+}
+
+// Shards reports the number of shard engines in the group.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
 
 // minNextAt is the group's global clock: the earliest pending event time
 // across shards.

@@ -179,6 +179,10 @@ type Engine struct {
 	MaxEvents uint64
 	// dispatched counts events dispatched so far (see Events).
 	dispatched uint64
+	// flight, when non-nil, is the flight recorder's ring of recent event
+	// stamps (see flight.go); flightHead is the next slot to overwrite.
+	flight     []EventStamp
+	flightHead int
 	// cancelled is set by Cancel — the only engine field touched from
 	// outside the simulation goroutine, hence atomic. The run loop polls
 	// it before every dispatch.
@@ -601,6 +605,18 @@ func (e *Engine) Run() error {
 	return err
 }
 
+// EachBlocked calls fn for every unfinished process and what it currently
+// waits on, in spawn order. Call only with the engine quiescent (between
+// windows, or after Run) — observers like the progress heartbeat use it at
+// group barriers, where every live process is parked.
+func (e *Engine) EachBlocked(fn func(name, blockedOn string)) {
+	for _, p := range e.procs {
+		if p != nil && !p.done {
+			fn(p.Name, p.blockedOn)
+		}
+	}
+}
+
 // blockedProcs lists the unfinished processes and what each waits on,
 // sorted, for deadlock diagnostics.
 func (e *Engine) blockedProcs() []string {
@@ -680,6 +696,9 @@ func (e *Engine) runUntil(fence Time) error {
 		// which reuses pooled events.
 		p, fn := ev.proc, ev.fn
 		e.dispatchDepth = int32(ev.dl >> 32)
+		if e.flight != nil {
+			e.recordFlight(ev.at, ev.dl, ev.seq, p)
+		}
 		e.free(ev)
 		e.dispatched++
 		if p != nil {

@@ -138,7 +138,10 @@ func promLabels(labels []Label, extra ...Label) string {
 	}
 	parts := make([]string, len(all))
 	for i, l := range all {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, promEscape(l.Value))
+		// promEscape already produced the exact escaped body; %q would
+		// re-escape its backslashes, emitting \\n where Prometheus expects
+		// \n. Quote by concatenation, not by formatting.
+		parts[i] = l.Key + `="` + promEscape(l.Value) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
