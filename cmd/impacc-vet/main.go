@@ -24,9 +24,13 @@ import (
 	"strings"
 
 	"impacc/internal/analysis"
+	"impacc/internal/analysis/atomicmix"
 	"impacc/internal/analysis/globalrand"
+	"impacc/internal/analysis/hashcoverage"
 	"impacc/internal/analysis/maporder"
+	"impacc/internal/analysis/observerpure"
 	"impacc/internal/analysis/parkdiscipline"
+	"impacc/internal/analysis/sharddiscipline"
 	"impacc/internal/analysis/spanbalance"
 	"impacc/internal/analysis/walltime"
 )
@@ -38,6 +42,10 @@ var suite = []*analysis.Analyzer{
 	maporder.Analyzer,
 	parkdiscipline.Analyzer,
 	spanbalance.Analyzer,
+	sharddiscipline.Analyzer,
+	atomicmix.Analyzer,
+	observerpure.Analyzer,
+	hashcoverage.Analyzer,
 }
 
 func main() {

@@ -14,7 +14,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := realMain([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"walltime", "globalrand", "maporder", "parkdiscipline", "spanbalance"} {
+	for _, name := range []string{
+		"walltime", "globalrand", "maporder", "parkdiscipline", "spanbalance",
+		"sharddiscipline", "atomicmix", "observerpure", "hashcoverage",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -74,9 +77,70 @@ func TestBadFixtureFails(t *testing.T) {
 		t.Fatalf("expected exit 1 on bad fixture, got %d\nstdout:\n%s\nstderr:\n%s",
 			code, out.String(), errb.String())
 	}
-	for _, want := range []string{"walltime", "globalrand", "maporder", "time.Now", "rand.Intn", "append inside map iteration"} {
+	for _, want := range []string{
+		"walltime", "globalrand", "maporder", "atomicmix", "allowstale",
+		"time.Now", "rand.Intn", "append inside map iteration",
+		"call to Clock transitively", "mixed access tears", "suppresses nothing",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("findings missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBadFixtureExactSet pins the gate's behavior to the byte: the findings
+// on testdata/bad must equal testdata/bad/expected.json exactly — analyzer,
+// position, and message. A new analyzer that starts (or stops) firing on the
+// fixture, or a reworded diagnostic, must update the committed expectation.
+func TestBadFixtureExactSet(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-json", "-", "./testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("expected exit 1 on bad fixture, got %d (stderr: %s)", code, errb.String())
+	}
+	type finding struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	var got, want struct {
+		Findings []finding `json:"findings"`
+	}
+	// stdout carries the human-readable finding lines first, then the JSON
+	// block (the -json '-' form); parse from the opening brace.
+	raw := out.Bytes()
+	if i := bytes.IndexByte(raw, '{'); i >= 0 {
+		raw = raw[i:]
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "bad", "expected.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("bad expected.json: %v", err)
+	}
+	if len(got.Findings) != len(want.Findings) {
+		t.Errorf("got %d findings, want %d", len(got.Findings), len(want.Findings))
+	}
+	for i := 0; i < len(got.Findings) || i < len(want.Findings); i++ {
+		var g, w *finding
+		if i < len(got.Findings) {
+			g = &got.Findings[i]
+		}
+		if i < len(want.Findings) {
+			w = &want.Findings[i]
+		}
+		switch {
+		case g == nil:
+			t.Errorf("missing expected finding #%d: %+v", i, *w)
+		case w == nil:
+			t.Errorf("unexpected extra finding #%d: %+v", i, *g)
+		case *g != *w:
+			t.Errorf("finding #%d mismatch:\n  got  %+v\n  want %+v", i, *g, *w)
 		}
 	}
 }

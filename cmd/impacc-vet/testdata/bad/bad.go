@@ -5,12 +5,19 @@ package bad
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
 // Clock smuggles wall-clock time into what pretends to be sim state.
 func Clock() int64 {
 	return time.Now().UnixNano()
+}
+
+// Stamp hides the clock read behind the helper above; the interprocedural
+// half of walltime flags this call site too, naming the origin.
+func Stamp() int64 {
+	return Clock()
 }
 
 // Pick draws from the process-global generator.
@@ -25,4 +32,20 @@ func Keys(m map[string]int) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// counter mixes sync/atomic and plain access to the same field.
+type counter struct{ n int64 }
+
+// Add goes through sync/atomic...
+func (c *counter) Add() { atomic.AddInt64(&c.n, 1) }
+
+// ...but Read tears.
+func (c *counter) Read() int64 { return c.n }
+
+// Stale carries a reasoned annotation that suppresses nothing; the
+// allowstale pseudo-analyzer flags the rotten escape hatch itself.
+func Stale() int {
+	//impacc:allow-walltime stale: nothing here reads the clock anymore
+	return 42
 }

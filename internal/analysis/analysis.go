@@ -57,9 +57,13 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the program-wide interprocedural fact store, shared by every
+	// pass of one Run invocation (see interproc.go). Nil only when a pass is
+	// driven outside Run.
+	Facts *Facts
 
 	diags  []Diagnostic
-	allows allowIndex
+	allows *allowIndex
 }
 
 // Reportf records a diagnostic at pos unless an //impacc:allow-<analyzer>
@@ -112,31 +116,60 @@ func commentBody(text string) string {
 	return strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
 }
 
-// allowSite is one parsed //impacc:allow-* comment.
+// allowSite is one parsed //impacc:allow-* comment. used flips when the
+// annotation suppresses a diagnostic (or sanctions an interprocedural taint
+// origin), so the driver can report annotations that no longer cover
+// anything (the "allowstale" pseudo-analyzer).
 type allowSite struct {
 	Name   string
 	Reason string
 	Pos    token.Position
+	used   bool
 }
 
-// allowIndex maps (analyzer, file, line) to a suppression annotation.
-type allowIndex map[string]map[int]bool
+// allowIndex collects every suppression annotation of one Run invocation,
+// across all analyzed packages (keys carry the filename, so one program-wide
+// index is unambiguous).
+type allowIndex struct {
+	// byKey maps (analyzer, file) -> line -> annotation.
+	byKey map[string]map[int]*allowSite
+	// sites lists every reasoned annotation, in scan order, for staleness
+	// reporting.
+	sites []*allowSite
+	// bad lists annotations without a reason; they suppress nothing and are
+	// reported under the "allowform" pseudo-analyzer.
+	bad []allowSite
+}
+
+func newAllowIndex() *allowIndex {
+	return &allowIndex{byKey: map[string]map[int]*allowSite{}}
+}
 
 func allowKey(name, file string) string { return name + "\x00" + file }
 
 // covers reports whether an annotation for analyzer name exists on the
-// diagnostic's line or the line above it.
-func (ai allowIndex) covers(name string, pos token.Position) bool {
-	lines := ai[allowKey(name, pos.Filename)]
-	return lines[pos.Line] || lines[pos.Line-1]
+// diagnostic's line or the line above it, marking any matching annotation
+// as used.
+func (ai *allowIndex) covers(name string, pos token.Position) bool {
+	lines := ai.byKey[allowKey(name, pos.Filename)]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	if s := lines[pos.Line]; s != nil {
+		s.used = true
+		hit = true
+	}
+	if s := lines[pos.Line-1]; s != nil {
+		s.used = true
+		hit = true
+	}
+	return hit
 }
 
-// buildAllowIndex scans every comment in the files for suppression
-// annotations. Annotations with an empty reason are returned separately
-// (they do not suppress) so the driver can report them.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []allowSite) {
-	idx := allowIndex{}
-	var bad []allowSite
+// add scans every comment in the files for suppression annotations and
+// folds them into the index.
+func (ai *allowIndex) add(fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -145,18 +178,18 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []allo
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				site := allowSite{Name: m[1], Reason: strings.TrimSpace(m[2]), Pos: pos}
+				site := &allowSite{Name: m[1], Reason: strings.TrimSpace(m[2]), Pos: pos}
 				if site.Reason == "" {
-					bad = append(bad, site)
+					ai.bad = append(ai.bad, *site)
 					continue
 				}
 				key := allowKey(site.Name, pos.Filename)
-				if idx[key] == nil {
-					idx[key] = map[int]bool{}
+				if ai.byKey[key] == nil {
+					ai.byKey[key] = map[int]*allowSite{}
 				}
-				idx[key][pos.Line] = true
+				ai.byKey[key][pos.Line] = site
+				ai.sites = append(ai.sites, site)
 			}
 		}
 	}
-	return idx, bad
 }

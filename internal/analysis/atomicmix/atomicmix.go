@@ -1,0 +1,88 @@
+// Package atomicmix flags struct fields that are accessed through
+// function-style sync/atomic operations somewhere but read or written
+// plainly somewhere else — anywhere in the program, not just in the same
+// function or package.
+//
+// A field like a cancellation flag or a shared budget counter is only safe
+// if every access agrees on atomicity: one plain `s.n++` next to an
+// `atomic.AddInt64(&s.n, 1)` elsewhere is a data race that tears silently on
+// weak memory and corrupts the exact counters (event budgets, cancel flags)
+// the parallel engine's determinism depends on. The repo's own convention is
+// typed atomics (atomic.Bool, atomic.Int64), which this pass ignores —
+// their every access is atomic by construction; the pass exists to catch the
+// mixed style before it lands.
+//
+// The atomic-access side is collected program-wide by the shared fact store
+// (see analysis.Facts.Atomics); this pass then reports every plain use of
+// such a field in the current package. //impacc:allow-atomicmix <reason>
+// suppresses a site.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"impacc/internal/analysis"
+)
+
+// Analyzer implements the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag plain reads/writes of struct fields that are accessed via " +
+		"function-style sync/atomic operations anywhere else in the program " +
+		"(mixed access tears); prefer typed atomics",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil || len(pass.Facts.Atomics) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// First pass: selectors whose address feeds a sync/atomic call are
+		// the sanctioned accesses.
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+		// Second pass: any other access to an atomically-used field is mixed.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() {
+				return true
+			}
+			uses := pass.Facts.Atomics[obj]
+			if len(uses) == 0 {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere (atomic.%s at %s) but plainly here; mixed access tears — use sync/atomic at every site or a typed atomic (atomic.Int64/atomic.Bool), or annotate //impacc:allow-atomicmix <reason>",
+				obj.Name(), uses[0].Op, analysis.ShortPos(uses[0].Pos))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,55 @@
+package a
+
+import "sync/atomic"
+
+// counter's n field is atomic in credit() — so every other access must be
+// atomic too. The mixed plain accesses below are flagged wherever they
+// occur, across function boundaries.
+type counter struct {
+	n    int64
+	m    int64 // never touched atomically; plain access is fine
+	done uint32
+}
+
+func credit(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreUint32(&c.done, 1)
+}
+
+func drainAtomically(c *counter) int64 {
+	return atomic.LoadInt64(&c.n) // atomic everywhere: fine
+}
+
+func mixedWrite(c *counter) {
+	c.n++ // want `field n is accessed with sync/atomic elsewhere`
+	c.m++
+}
+
+func mixedRead(c *counter) int64 {
+	if atomic.LoadUint32(&c.done) == 0 {
+		return 0
+	}
+	return c.n + c.m // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func mixedFlag(c *counter) bool {
+	return c.done == 1 // want `field done is accessed with sync/atomic elsewhere`
+}
+
+// typed uses the repo's preferred style: typed atomics carry their
+// atomicity in the type and are never flagged.
+type typed struct {
+	cancelled atomic.Bool
+	budget    atomic.Int64
+}
+
+func typedOK(t *typed) bool {
+	t.budget.Add(-1)
+	return t.cancelled.Load()
+}
+
+// annotated is the reasoned escape hatch (e.g. a field read under a lock
+// that happens-after every atomic writer has quiesced).
+func annotated(c *counter) int64 {
+	return c.n //impacc:allow-atomicmix read after Wait(): all atomic writers joined, plain read is ordered
+}

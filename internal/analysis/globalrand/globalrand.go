@@ -30,8 +30,9 @@ var randPkgs = map[string]string{
 // Analyzer implements the globalrand pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "globalrand",
-	Doc: "forbid math/rand, math/rand/v2 and crypto/rand function use; all " +
-		"simulation randomness must flow from the seeded sim.RNG streams",
+	Doc: "forbid math/rand, math/rand/v2 and crypto/rand function use (including " +
+		"uses hidden behind helper calls); all simulation randomness must flow " +
+		"from the seeded sim.RNG streams",
 	Run: run,
 }
 
@@ -54,6 +55,66 @@ func run(pass *analysis.Pass) error {
 				pass.Reportf(sel.Pos(),
 					"%s.%s is process-global/host-entropy randomness; derive a seeded stream from sim.NewRNG or RNG.Fork instead, or annotate //impacc:allow-globalrand <reason>",
 					pkgPath, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	if pass.Facts == nil {
+		return nil
+	}
+	// Interprocedural half: helpers that draw process-global randomness
+	// (by calling into a forbidden package or using one of its variables,
+	// e.g. crypto/rand.Reader) taint every transitive caller. Annotated
+	// origins sanction their callers.
+	taint := pass.Facts.Reach("globalrand", func(s *analysis.FuncSummary) (analysis.Origin, bool) {
+		for _, c := range s.Calls {
+			fn := c.Callee
+			if fn.Pkg() == nil {
+				continue
+			}
+			if _, bad := randPkgs[fn.Pkg().Path()]; !bad {
+				continue
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue // methods on a caller-owned source (rand.Rand) are seeded explicitly
+			}
+			pos := s.Pkg.Fset.Position(c.Pos)
+			if pass.Facts.Allowed("globalrand", pos) {
+				continue
+			}
+			return analysis.Origin{Func: s.Func, Pos: pos,
+				What: fn.Pkg().Path() + "." + fn.Name()}, true
+		}
+		for _, vu := range s.VarUses {
+			if vu.Var.Pkg() == nil {
+				continue
+			}
+			if _, bad := randPkgs[vu.Var.Pkg().Path()]; !bad {
+				continue
+			}
+			pos := s.Pkg.Fset.Position(vu.Pos)
+			if pass.Facts.Allowed("globalrand", pos) {
+				continue
+			}
+			return analysis.Origin{Func: s.Func, Pos: pos,
+				What: vu.Var.Pkg().Path() + "." + vu.Var.Name()}, true
+		}
+		return analysis.Origin{}, false
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			if o, ok := taint[callee]; ok {
+				pass.Reportf(call.Pos(),
+					"call to %s transitively draws process-global/host-entropy randomness (%s at %s); thread a seeded sim.RNG through instead, or annotate the underlying site //impacc:allow-globalrand <reason>",
+					callee.Name(), o.What, analysis.ShortPos(o.Pos))
 			}
 			return true
 		})

@@ -39,3 +39,30 @@ func seededOK(seed uint64) float64 {
 func annotated() int {
 	return rand.Intn(2) //impacc:allow-globalrand test-only helper outside any simulation path
 }
+
+// dice hides a global draw one call deep; the interprocedural closure
+// taints callers and names the underlying draw.
+func dice() int {
+	return rand.Intn(6) // want `math/rand\.Intn is process-global`
+}
+
+func viaDice() int {
+	return dice() // want `call to dice transitively draws process-global`
+}
+
+// entropy taints through a package-variable use, not a call.
+func entropy() []byte {
+	_ = crand.Reader // want `crypto/rand\.Reader is process-global`
+	return nil
+}
+
+func viaEntropy() {
+	_ = entropy() // want `call to entropy transitively draws process-global`
+}
+
+// sanctionedDice's draw is annotated at the source; the taint stops there.
+func sanctionedDice() int {
+	return rand.Intn(2) //impacc:allow-globalrand fixture helper outside any simulation path
+}
+
+func viaSanctionedDice() int { return sanctionedDice() }

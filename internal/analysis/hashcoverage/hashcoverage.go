@@ -1,0 +1,211 @@
+// Package hashcoverage keeps the content-addressed cache honest: every
+// exported field of a struct that defines a CanonicalString method (the
+// canonical-encoding convention of core.Config's "impacc-cfg-v1" scheme)
+// must either be referenced by that encoding — directly or through helper
+// methods like Config.features() — or carry an explicit
+//
+//	//impacc:hash-exclude <reason>
+//
+// annotation on its line or the line above. A field that is neither encoded
+// nor deliberately excluded silently poisons the cache: two configs that
+// differ in it would share one content address, and impacc-serve would
+// return the wrong cached result. The reverse rot is flagged too: a
+// hash-exclude annotation on a field the encoder does reference is stale
+// and must be removed.
+//
+// Coverage is computed interprocedurally over the shared fact store: the
+// referenced-field set is the union of field selector uses in
+// CanonicalString and every function transitively reachable from it.
+package hashcoverage
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"impacc/internal/analysis"
+)
+
+// Analyzer implements the hashcoverage pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hashcoverage",
+	Doc: "every exported field of a struct with a CanonicalString method must be " +
+		"encoded by it (transitively) or carry //impacc:hash-exclude <reason>; " +
+		"unhashed fields poison the content-addressed result cache",
+	Run: run,
+}
+
+// excludeRe matches the hash-exclude annotation body after comment markers.
+var excludeRe = regexp.MustCompile(`^impacc:hash-exclude\s*(.*)$`)
+
+// exclude is one parsed //impacc:hash-exclude comment.
+type exclude struct {
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	excludes := parseExcludes(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			canon := lookupMethod(named, pass.Pkg, "CanonicalString")
+			if canon == nil {
+				return true
+			}
+			checkStruct(pass, excludes, named, st, canon)
+			return true
+		})
+	}
+	// Any exclude annotation not consumed by a field check floats free of
+	// every exported field — report it so the marker can't rot either.
+	for _, lines := range excludes {
+		for _, ex := range lines {
+			if !ex.used {
+				pass.Reportf(posAt(pass, ex.pos),
+					"impacc:hash-exclude annotation attaches to no exported field of a CanonicalString struct; remove it")
+			}
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *analysis.Pass, excludes map[string]map[int]*exclude, named *types.Named, st *types.Struct, canon *types.Func) {
+	referenced := reachableFieldUses(pass.Facts, canon)
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		pos := pass.Fset.Position(field.Pos())
+		ex := excludeAt(excludes, pos)
+		if referenced[field] {
+			if ex != nil {
+				ex.used = true
+				pass.Reportf(field.Pos(),
+					"hash-exclude on %s.%s is stale: CanonicalString does encode the field; remove the annotation",
+					named.Obj().Name(), field.Name())
+			}
+			continue
+		}
+		if ex != nil {
+			ex.used = true
+			if ex.reason == "" {
+				pass.Reportf(field.Pos(),
+					"impacc:hash-exclude on %s.%s needs a reason (\"//impacc:hash-exclude why the field never changes simulated bytes\")",
+					named.Obj().Name(), field.Name())
+			}
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"exported field %s.%s is not covered by the canonical encoding: CanonicalString never reads it, so two configs differing in it share one content address; encode it (and bump the scheme tag) or annotate //impacc:hash-exclude <reason>",
+			named.Obj().Name(), field.Name())
+	}
+}
+
+// reachableFieldUses unions field selector uses over CanonicalString and
+// everything it transitively calls.
+func reachableFieldUses(facts *analysis.Facts, canon *types.Func) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	seen := map[*types.Func]bool{}
+	queue := []*types.Func{canon}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		s := facts.Summary(fn)
+		if s == nil {
+			continue
+		}
+		for _, fu := range s.FieldUses {
+			out[fu.Field] = true
+		}
+		for _, c := range s.Calls {
+			queue = append(queue, c.Callee)
+		}
+	}
+	return out
+}
+
+// lookupMethod resolves a method on named (value or pointer receiver).
+func lookupMethod(named *types.Named, pkg *types.Package, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pkg, name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// parseExcludes scans the package's comments for hash-exclude annotations,
+// keyed file → line.
+func parseExcludes(pass *analysis.Pass) map[string]map[int]*exclude {
+	out := map[string]map[int]*exclude{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := c.Text
+				if strings.HasPrefix(body, "//") {
+					body = body[2:]
+				} else {
+					body = strings.TrimSuffix(strings.TrimPrefix(body, "/*"), "*/")
+				}
+				m := excludeRe.FindStringSubmatch(body)
+				if m == nil {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]*exclude{}
+				}
+				out[pos.Filename][pos.Line] = &exclude{reason: strings.TrimSpace(m[1]), pos: pos}
+			}
+		}
+	}
+	return out
+}
+
+// excludeAt finds an annotation on the field's line or the line above.
+func excludeAt(excludes map[string]map[int]*exclude, pos token.Position) *exclude {
+	lines := excludes[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	if ex := lines[pos.Line]; ex != nil {
+		return ex
+	}
+	return lines[pos.Line-1]
+}
+
+// posAt converts a resolved position back to a token.Pos within the pass's
+// file set for reporting; falls back to a best-effort scan of the files.
+func posAt(pass *analysis.Pass, pos token.Position) token.Pos {
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf != nil && tf.Name() == pos.Filename && pos.Line <= tf.LineCount() {
+			return tf.LineStart(pos.Line)
+		}
+	}
+	return token.NoPos
+}

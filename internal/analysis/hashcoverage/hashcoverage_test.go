@@ -1,0 +1,13 @@
+package hashcoverage_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/hashcoverage"
+)
+
+func TestHashcoverage(t *testing.T) {
+	analysistest.Run(t, hashcoverage.Analyzer, filepath.Join("testdata", "a"))
+}

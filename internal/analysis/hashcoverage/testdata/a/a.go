@@ -1,0 +1,41 @@
+package a
+
+import "fmt"
+
+// Config mirrors core.Config's contract: CanonicalString is the content
+// address, so every exported field must be encoded or deliberately
+// excluded. Debug below is the synthetic unhashed field the analyzer must
+// catch.
+type Config struct {
+	Seed int
+	Name string
+	// Debug is neither encoded nor excluded: the demonstrable cache-key
+	// poisoning case.
+	Debug bool // want `exported field Config\.Debug is not covered by the canonical encoding`
+	//impacc:hash-exclude progress observer only; never changes simulated bytes
+	TraceDest string
+	// Stale is encoded (below) AND annotated — the annotation lies.
+	//impacc:hash-exclude pretend observer
+	Stale int // want `hash-exclude on Config\.Stale is stale`
+	Bare  int /*impacc:hash-exclude*/ // want `impacc:hash-exclude on Config\.Bare needs a reason`
+	// unexported fields are internal plumbing, not cache-key surface.
+	resolved bool
+}
+
+// CanonicalString encodes Seed directly, Name through a helper method, and
+// Stale directly — exercising the interprocedural coverage.
+func (c *Config) CanonicalString() string {
+	_ = c.resolved
+	return fmt.Sprintf("seed=%d name=%s stale=%d", c.Seed, c.displayName(), c.Stale)
+}
+
+func (c *Config) displayName() string { return c.Name }
+
+// Plain structs without a CanonicalString method have no cache-key
+// contract; nothing here is checked.
+type Scratch struct {
+	Anything int
+	Whatever string
+}
+
+func (s *Scratch) String() string { return fmt.Sprint(s.Anything) }

@@ -1,0 +1,13 @@
+package observerpure_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/observerpure"
+)
+
+func TestObserverpure(t *testing.T) {
+	analysistest.Run(t, observerpure.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,13 @@
+package sharddiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"impacc/internal/analysis/analysistest"
+	"impacc/internal/analysis/sharddiscipline"
+)
+
+func TestSharddiscipline(t *testing.T) {
+	analysistest.Run(t, sharddiscipline.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,38 @@
+package embed
+
+// Closer is embedded into Sink: the interface's full method set must be
+// flattened when looking for implementations.
+type Closer interface{ Close() error }
+
+type Sink interface {
+	Closer
+	Emit(n int) error
+}
+
+type fileSink struct{ n int }
+
+func (f *fileSink) Close() error { return nil }
+
+func (f *fileSink) Emit(n int) error {
+	f.n += n
+	return nil
+}
+
+// logSink satisfies Sink entirely through an embedded struct: both methods
+// are promoted from fileSink.
+type logSink struct {
+	fileSink
+	tag string
+}
+
+var (
+	_ Sink = (*fileSink)(nil)
+	_ Sink = (*logSink)(nil)
+)
+
+// use calls Emit as a method promoted through struct embedding; the call
+// must resolve to fileSink's declared method.
+func use() {
+	ls := &logSink{tag: "x"}
+	_ = ls.Emit(1)
+}

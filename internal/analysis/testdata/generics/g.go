@@ -1,0 +1,34 @@
+package generics
+
+// Number is a type-set constraint; the loader must type-check it without
+// complaint and the fact store must see through instantiations.
+type Number interface{ ~int | ~float64 }
+
+func Sum[T Number](xs []T) T {
+	var t T
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Pair exercises generic types with methods: the Set call below resolves
+// to an instantiated method object that must fold back onto this origin.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+func (p *Pair[K, V]) Set(k K, v V) {
+	p.Key = k
+	p.Val = v
+}
+
+func Use() int {
+	p := &Pair[string, int]{}
+	p.Set("a", 1)
+	explicit := Sum[int]([]int{1, 2, 3}) // IndexExpr instantiation
+	inferred := Sum([]float64{1, 2})     // inferred instantiation
+	_ = inferred
+	return explicit
+}

@@ -37,3 +37,37 @@ func annotated() time.Time {
 func bareAnnotation() {
 	_ = time.Now() /*impacc:allow-walltime*/ // want `time\.Now reads host wall-clock` `annotation needs a reason`
 }
+
+// timers: every timer constructor and measuring helper is a clock read.
+func timers(t time.Time) {
+	_ = time.Until(t)          // want `time\.Until reads host wall-clock`
+	_ = time.NewTimer(1)       // want `time\.NewTimer reads host wall-clock`
+	_ = time.Tick(1)           // want `time\.Tick reads host wall-clock`
+	_ = time.AfterFunc(1, nil) // want `time\.AfterFunc reads host wall-clock`
+}
+
+// helper hides a clock read one call deep; the interprocedural closure
+// taints its callers and names the underlying site.
+func helper() time.Time {
+	return time.Now() // want `time\.Now reads host wall-clock`
+}
+
+func viaHelper() {
+	_ = helper() // want `call to helper transitively reads host wall-clock`
+}
+
+func mid() {
+	_ = helper() // want `call to helper transitively reads host wall-clock`
+}
+
+func viaTwo() {
+	mid() // want `call to mid transitively reads host wall-clock`
+}
+
+// sanctionedHelper's read carries the annotation at the source, so the
+// taint stops there: callers inherit the sanction.
+func sanctionedHelper() time.Time {
+	return time.Now() //impacc:allow-walltime operator-facing progress timing, never enters sim state
+}
+
+func viaSanctioned() time.Time { return sanctionedHelper() }

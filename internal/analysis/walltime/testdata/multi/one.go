@@ -1,0 +1,9 @@
+package multi
+
+import "time"
+
+// stamp hides the clock read from its callers in the other file; the fact
+// store must connect them across file boundaries.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads host wall-clock`
+}

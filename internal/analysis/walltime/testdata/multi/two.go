@@ -1,0 +1,5 @@
+package multi
+
+func report() {
+	_ = stamp() // want `call to stamp transitively reads host wall-clock`
+}

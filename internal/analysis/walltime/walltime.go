@@ -15,6 +15,7 @@ package walltime
 
 import (
 	"go/ast"
+	"go/types"
 
 	"impacc/internal/analysis"
 )
@@ -45,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "walltime",
 	Doc: "forbid wall-clock reads (time.Now/Since/Sleep, timers) and host-process " +
 		"entropy (os.Getpid, os.Hostname) that would leak nondeterminism into " +
-		"virtual-time simulation state",
+		"virtual-time simulation state, including reads hidden behind helper calls",
 	Run: run,
 }
 
@@ -68,6 +69,56 @@ func run(pass *analysis.Pass) error {
 			pass.Reportf(sel.Pos(),
 				"%s.%s reads host wall-clock/process state and breaks determinism; use %s, or annotate //impacc:allow-walltime <reason>",
 				pkgPath, sel.Sel.Name, repl)
+			return true
+		})
+	}
+	if pass.Facts == nil {
+		return nil
+	}
+	// Interprocedural half: a helper whose body reads the wall clock taints
+	// every (transitive) caller; the call sites are flagged with the
+	// underlying origin. Annotated origins are sanctioned — the annotation's
+	// reason covers downstream use of the value.
+	taint := pass.Facts.Reach("walltime", func(s *analysis.FuncSummary) (analysis.Origin, bool) {
+		for _, c := range s.Calls {
+			fn := c.Callee
+			if fn.Pkg() == nil {
+				continue
+			}
+			funcs, ok := forbidden[fn.Pkg().Path()]
+			if !ok {
+				continue
+			}
+			if _, ok := funcs[fn.Name()]; !ok {
+				continue
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue
+			}
+			pos := s.Pkg.Fset.Position(c.Pos)
+			if pass.Facts.Allowed("walltime", pos) {
+				continue
+			}
+			return analysis.Origin{Func: s.Func, Pos: pos,
+				What: fn.Pkg().Path() + "." + fn.Name()}, true
+		}
+		return analysis.Origin{}, false
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			if o, ok := taint[callee]; ok {
+				pass.Reportf(call.Pos(),
+					"call to %s transitively reads host wall-clock/process state (%s at %s); hoist the read out or annotate the underlying site //impacc:allow-walltime <reason>",
+					callee.Name(), o.What, analysis.ShortPos(o.Pos))
+			}
 			return true
 		})
 	}

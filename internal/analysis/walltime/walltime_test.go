@@ -11,3 +11,10 @@ import (
 func TestWalltime(t *testing.T) {
 	analysistest.Run(t, walltime.Analyzer, filepath.Join("testdata", "a"))
 }
+
+// TestWalltimeMultiFile exercises the harness and the fact store across a
+// package split over two files: the clock read sits in one file, its
+// transitively flagged caller in the other.
+func TestWalltimeMultiFile(t *testing.T) {
+	analysistest.Run(t, walltime.Analyzer, filepath.Join("testdata", "multi"))
+}

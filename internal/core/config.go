@@ -122,10 +122,12 @@ type Config struct {
 	JitterPct float64
 	// Trace, when non-nil, collects per-task execution spans (kernels,
 	// copies, MPI blocking, host compute) for timeline export.
+	//impacc:hash-exclude pure observer: span collection never changes simulated bytes
 	Trace *Tracer
 	// Metrics, when non-nil, is adopted as the engine's telemetry registry,
 	// letting several runs (e.g. a benchmark sweep) aggregate into one
 	// registry. Nil keeps the engine's own fresh registry.
+	//impacc:hash-exclude pure observer: registry choice never changes simulated bytes
 	Metrics *telemetry.Registry
 	// Chaos, when non-nil, instantiates a deterministic fault-injection
 	// plan for the run (see internal/fault): link degradation and flaps,
@@ -141,17 +143,20 @@ type Config struct {
 	// count produces byte-identical reports, traces, and telemetry, so the
 	// field is excluded from the canonical content hash. Values below 1
 	// mean serial.
+	//impacc:hash-exclude execution strategy: any worker count is byte-identical by construction
 	Parallel int
 	// Progress, when non-nil, emits deterministic virtual-time heartbeats
 	// every Progress.Every of virtual time (see Progress). An observer like
 	// Trace/Metrics/Parallel: never changes what the run simulates, excluded
 	// from the canonical content hash.
+	//impacc:hash-exclude pure observer: heartbeats never change simulated bytes
 	Progress *Progress
 	// FlightRing, when positive, arms a per-shard flight recorder keeping
 	// the most recent FlightRing dispatched-event stamps; a run that ends
 	// abnormally (cancel, deadlock, limits, causality panic) then exposes a
 	// stall dump through Runtime.Stall. An observer: hash-excluded, zero
 	// simulation-visible effect.
+	//impacc:hash-exclude diagnostics ring: armed or not, simulated bytes are identical
 	FlightRing int
 }
 

@@ -77,16 +77,15 @@ func NewBufferedHeartbeatWriter(bw *bufio.Writer) func(Heartbeat) {
 // runs on the group's coordinating goroutine between windows, after the
 // barrier, so reading task and hub state is race-free (the barrier's
 // WaitGroup orders every shard write before this read).
-func (rt *Runtime) emitHeartbeat(at sim.Time) {
+func (rt *Runtime) emitHeartbeat(seq int, at sim.Time) {
 	hb := Heartbeat{
-		Seq:    rt.beatSeq,
+		Seq:    seq,
 		AtNs:   int64(at),
 		Events: rt.group.Events(),
 		NextNs: -1,
 		Shards: rt.group.Shards(),
 		Live:   rt.group.LiveProcs(),
 	}
-	rt.beatSeq++
 	if next, ok := rt.group.NextAt(); ok {
 		hb.NextNs = int64(next)
 	}

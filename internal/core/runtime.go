@@ -72,8 +72,6 @@ type Runtime struct {
 	// Limits.MaxAllocBytes cap, atomically since tasks allocate from
 	// concurrent shards.
 	allocBytes atomic.Int64
-	// beatSeq numbers emitted progress heartbeats (coordinator-only state).
-	beatSeq int
 }
 
 // defaultStreamFlushBeat bounds the streaming tracer's memory on runs with
@@ -172,7 +170,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	if cfg.Progress != nil {
 		rt.group.BeatEvery = cfg.Progress.Every
-		rt.group.OnBeat = rt.emitHeartbeat
+		// The beat counter lives in this closure, not on the Runtime: OnBeat
+		// is an observer and must leave runtime state untouched.
+		beatSeq := 0
+		rt.group.OnBeat = func(at sim.Time) {
+			rt.emitHeartbeat(beatSeq, at)
+			beatSeq++
+		}
 	}
 	if tr := cfg.Trace; tr != nil && tr.Streaming() {
 		// Flush the streaming tracer at every window barrier: the fence
@@ -281,6 +285,7 @@ func (rt *Runtime) Execute(prog Program) (*Report, error) {
 	defer rt.mergeMetrics()
 	for _, t := range rt.tasks {
 		t := t
+		//impacc:allow-sharddiscipline setup-time seeding before group.Run: every engine is quiescent, no shard owns anything yet
 		rt.Fab.Engine(t.pl.Node).Spawn(fmt.Sprintf("task%d", t.rank), func(p *sim.Proc) {
 			t.proc = p
 			defer func() {
