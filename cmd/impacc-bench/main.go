@@ -45,6 +45,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		profile = fs.String("prof", "", "trace every run and write the aggregate profile (critical path, top sites) to this file (JSON if it ends in .json, text otherwise)")
 		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "run up to N simulations concurrently (output stays byte-identical)")
 		parSim  = fs.Int("par-sim", 1, "worker threads inside each simulation's sharded engine (output stays byte-identical)")
+		lean    = fs.Bool("lean", false, "memory-lean big-run mode on every leaf run: aggregate per-rank telemetry above 256 ranks (no-op on small systems)")
 		flight  = fs.Int("flight-ring", 0, "arm the stall flight recorder on every leaf run with this per-shard ring depth; abnormal ends name the parked ranks (0 = off)")
 		chaos   = fs.String("chaos", "", "deterministic fault injection applied to every run, seed:spec (see impacc-run -chaos)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -110,7 +111,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	opt := bench.Options{Quick: *quick, ParSim: *parSim, FlightRing: *flight}.WithJobs(*jobs)
+	opt := bench.Options{Quick: *quick, ParSim: *parSim, FlightRing: *flight, Lean: *lean}.WithJobs(*jobs)
 	if *maxVTime != "" {
 		d, err := sim.ParseDur(*maxVTime)
 		if err != nil {

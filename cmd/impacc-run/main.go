@@ -60,7 +60,7 @@ var epClasses = map[string]apps.EPClass{
 func main() {
 	var (
 		app     = flag.String("app", "jacobi", "application: dgemm, ep, jacobi, lulesh")
-		system  = flag.String("system", "psg", "system: psg, beacon:N, titan:N, hetero")
+		system  = flag.String("system", "psg", "system: psg, beacon:N, titan:N, hetero, fattree:k, dragonfly:g,a,p, gemini:X,Y,Z, or a .json file")
 		mode    = flag.String("mode", "impacc", "runtime: impacc or legacy")
 		style   = flag.String("style", "", "programming style: sync, async, unified (default: unified for impacc, async for legacy)")
 		tasks   = flag.Int("tasks", 0, "cap the task count (0 = one per accelerator)")
@@ -79,6 +79,7 @@ func main() {
 		metrics = flag.String("metrics", "", "write the run's telemetry snapshot to this file (Prometheus text if it ends in .prom, JSON otherwise)")
 		chaos   = flag.String("chaos", "", "deterministic fault injection, seed:spec (e.g. '7:degrade=*:4,rdmaflap=1:2ms:500us,straggle=0:1.5')")
 		parSim  = flag.Int("par-sim", 1, "worker threads driving the sharded simulation engine (wall-clock only; any value produces byte-identical output)")
+		lean    = flag.Bool("lean", false, "memory-lean big-run mode: aggregate per-rank telemetry and heartbeats above 256 ranks, require streaming traces (-trace-stream); no-op on small systems")
 
 		progressEvery  = flag.String("progress-every", "", "emit a progress heartbeat every this much virtual time (e.g. 1ms); content is deterministic for any -par-sim value")
 		progress       = flag.String("progress", "", "write heartbeats as JSON lines to this file (default stderr)")
@@ -121,6 +122,7 @@ func main() {
 	cfg := core.Config{
 		System: sys, Mode: m, MaxTasks: *tasks, DeviceTypes: mask,
 		Backed: *backed, Seed: *seed, JitterPct: 1, Parallel: *parSim,
+		Lean: *lean,
 	}
 	if *chaos != "" {
 		cfg.Chaos, err = fault.ParseSpec(*chaos)

@@ -54,8 +54,20 @@ type Options struct {
 	// processes instead of just the limit it hit.
 	FlightRing int
 
+	// Lean turns on the memory-lean big-run mode (core.Config.Lean) for
+	// every leaf run: per-rank telemetry and heartbeat detail aggregate
+	// above the rank threshold, bounding resident state on generated
+	// large-scale systems.
+	Lean bool
+
 	// gate, when non-nil, bounds concurrent simulations (see WithJobs).
 	gate chan struct{}
+	// regPool recycles per-shard telemetry registries across leaf runs
+	// (core.Config.MetricsPool): a sweep's thousands of runs then reuse
+	// warmed registries instead of allocating fresh ones. Shared by every
+	// run launched from this options value; purely an allocation strategy,
+	// never a simulated byte.
+	regPool *telemetry.Pool
 }
 
 // Experiment is one reproducible table or figure.

@@ -139,3 +139,43 @@ func TestChaosParallelDeterminism(t *testing.T) {
 		t.Fatalf("chaotic sweep recorded no %s events", fault.InjectedTotal)
 	}
 }
+
+// TestRegistryPoolDeterminism is the registry-reuse guarantee: recycling
+// per-node registries across RunMany leaves (instead of allocating fresh
+// ones per run) is a pure allocation strategy, so a serial sweep, a -j 8
+// pooled sweep, and a -par-sim 8 sharded sweep all produce byte-identical
+// output and byte-identical aggregate metrics.
+func TestRegistryPoolDeterminism(t *testing.T) {
+	fig13, ok := ByID("fig13")
+	if !ok {
+		t.Fatal("fig13 not registered")
+	}
+	run := func(jobs, parSim int) ([]byte, []byte) {
+		opt := Options{Quick: true, ParSim: parSim, Metrics: telemetry.NewRegistry()}.WithJobs(jobs)
+		var out bytes.Buffer
+		for _, r := range RunMany([]Experiment{fig13}, opt) {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Exp.ID, r.Err)
+			}
+			out.Write(r.Output)
+		}
+		var snap bytes.Buffer
+		if err := opt.Metrics.Snapshot(0).WriteJSON(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), snap.Bytes()
+	}
+	serialOut, serialSnap := run(1, 1)
+	for _, c := range []struct {
+		name         string
+		jobs, parSim int
+	}{{"-j 8", 8, 1}, {"-par-sim 8", 1, 8}} {
+		out, snap := run(c.jobs, c.parSim)
+		if !bytes.Equal(out, serialOut) {
+			t.Errorf("%s output differs from serial", c.name)
+		}
+		if !bytes.Equal(snap, serialSnap) {
+			t.Errorf("%s metrics snapshot differs from serial", c.name)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"impacc/internal/core"
+	"impacc/internal/telemetry"
 )
 
 // WithJobs returns a copy of the options that runs up to n simulations
@@ -20,6 +21,9 @@ func (o Options) WithJobs(n int) Options {
 	o.gate = nil
 	if n > 1 {
 		o.gate = make(chan struct{}, n)
+	}
+	if o.regPool == nil {
+		o.regPool = &telemetry.Pool{}
 	}
 	return o
 }
@@ -41,6 +45,12 @@ func runGated(opt Options, cfg core.Config, prog core.Program) (*core.Report, er
 	}
 	if cfg.FlightRing == 0 {
 		cfg.FlightRing = opt.FlightRing
+	}
+	if !cfg.Lean {
+		cfg.Lean = opt.Lean
+	}
+	if cfg.MetricsPool == nil {
+		cfg.MetricsPool = opt.regPool
 	}
 	if opt.Prof != nil && cfg.Trace == nil {
 		cfg.Trace = core.NewTracer()
@@ -118,6 +128,9 @@ type RunResult struct {
 // given (canonical) order, so a parallel run prints byte-identically to a
 // serial one.
 func RunMany(exps []Experiment, opt Options) []RunResult {
+	if opt.regPool == nil {
+		opt.regPool = &telemetry.Pool{}
+	}
 	out := make([]RunResult, len(exps))
 	run := func(i int) {
 		var buf bytes.Buffer

@@ -120,6 +120,17 @@ type Config struct {
 	// JitterPct adds deterministic pseudo-random skew to host compute
 	// (percent, e.g. 2.0). Models OS noise; 0 disables.
 	JitterPct float64
+	// Lean turns on the memory-lean big-run mode. On systems above
+	// leanRankThreshold ranks: per-rank telemetry series collapse into
+	// aggregated rank="all" series, progress heartbeats carry sorted phase
+	// counts instead of one phase string per rank, and buffered
+	// (non-streaming) tracers are rejected so the causal graph never
+	// resides in RAM — stream spans through a Tracer with a SpanSink
+	// instead. At or below the threshold lean is a no-op and reports are
+	// byte-identical to a non-lean run. Because lean changes what a big run
+	// reports, it is part of the canonical content hash, unlike the pure
+	// observer fields below.
+	Lean bool
 	// Trace, when non-nil, collects per-task execution spans (kernels,
 	// copies, MPI blocking, host compute) for timeline export.
 	//impacc:hash-exclude pure observer: span collection never changes simulated bytes
@@ -129,6 +140,13 @@ type Config struct {
 	// registry. Nil keeps the engine's own fresh registry.
 	//impacc:hash-exclude pure observer: registry choice never changes simulated bytes
 	Metrics *telemetry.Registry
+	// MetricsPool, when non-nil, supplies the run's per-shard registries
+	// and receives them back when Execute finishes; a sweep harness sets it
+	// to recycle registries across thousands of leaf runs instead of
+	// allocating fresh ones each time. Like Metrics it only changes where
+	// telemetry is stored, never a simulated byte.
+	//impacc:hash-exclude pure observer: registry reuse never changes simulated bytes
+	MetricsPool *telemetry.Pool
 	// Chaos, when non-nil, instantiates a deterministic fault-injection
 	// plan for the run (see internal/fault): link degradation and flaps,
 	// NIC send stalls, compute stragglers, transient device-copy failures,

@@ -18,7 +18,7 @@ import (
 // current scheme to known digests; if it fails after a refactor, either the
 // refactor accidentally changed the encoding (fix the refactor) or it
 // deliberately did (bump the tag and regenerate the digests).
-const ConfigHashScheme = "impacc-cfg-v1"
+const ConfigHashScheme = "impacc-cfg-v2"
 
 // CanonicalString renders the configuration into a stable encoding with
 // explicit field ordering: one "key=value" line per field, normalized
@@ -81,6 +81,9 @@ func (c *Config) CanonicalString() string {
 	w("chaos", chaos)
 	w("limits", fmt.Sprintf("vtime=%d events=%d alloc=%d",
 		c.Limits.MaxVirtualTime, c.Limits.MaxEvents, c.Limits.MaxAllocBytes))
+	// Lean changes what a big run reports (aggregated per-rank telemetry),
+	// so unlike the pure observers it is part of the content address.
+	w("lean", strconv.FormatBool(c.Lean))
 	return b.String()
 }
 

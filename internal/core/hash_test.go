@@ -31,7 +31,7 @@ func hashSpecimens() []struct {
 		{
 			name: "beacon-defaults",
 			cfg:  Config{System: topo.Beacon(2), Seed: 2016},
-			want: "8362ee8dae9ba3b7e09ae78e27374fa88a0d8b47501c0e3008a6cd9472be82b7",
+			want: "5778a21292d8f18c2428ac909cedadddb108271897db73656a0da208c67f4fd5",
 		},
 		{
 			name: "titan-legacy-chaos-limits",
@@ -47,7 +47,7 @@ func hashSpecimens() []struct {
 				Chaos:       chaos,
 				Limits:      Limits{MaxVirtualTime: 2_000_000_000, MaxEvents: 1 << 20, MaxAllocBytes: 1 << 30},
 			},
-			want: "a2f62be9e1a7ca821cdcf7446636e78726ce5651741e1691e4fdbaf156f1c205",
+			want: "4e2883029c4b3d7f823e0de05b400f133ad82dc62df722bc0390ef1fb57b7ae6",
 		},
 	}
 }
@@ -102,6 +102,7 @@ func TestConfigHashSensitivity(t *testing.T) {
 		{"jitterpct", func(c *Config) { c.JitterPct = 2 }},
 		{"chaos", func(c *Config) { c.Chaos, _ = fault.ParseSpec("1:straggle=*:2") }},
 		{"limits", func(c *Config) { c.Limits.MaxEvents = 1000 }},
+		{"lean", func(c *Config) { c.Lean = true }},
 	}
 	for _, m := range mutate {
 		c := base
@@ -125,7 +126,7 @@ func TestConfigCanonicalStringShape(t *testing.T) {
 		t.Fatalf("first line %q, want scheme tag", lines[0])
 	}
 	order := []string{"scheme", "system", "mode", "devicetypes", "pin", "features",
-		"overheads", "backed", "seed", "maxtasks", "forceserialmpi", "jitterpct", "chaos", "limits"}
+		"overheads", "backed", "seed", "maxtasks", "forceserialmpi", "jitterpct", "chaos", "limits", "lean"}
 	if len(lines) != len(order) {
 		t.Fatalf("%d lines, want %d:\n%s", len(lines), len(order), s)
 	}

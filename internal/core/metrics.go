@@ -14,14 +14,22 @@ const MPILatencyNs = "core_mpi_latency_ns"
 
 // mpiObserve records one completed MPI operation's latency for the task.
 // Histograms are created lazily per (rank, op) so only ops a task actually
-// issues allocate series.
+// issues allocate series. Lean mode collapses the rank label to "all":
+// tasks sharing a node then share one series per op (safe — a shard runs
+// one process at a time), and the cross-shard merge adds the per-node
+// aggregates commutatively, so per-rank telemetry stays O(ops) instead of
+// O(ranks * ops) on generated large-scale systems.
 func (t *Task) mpiObserve(op string, start sim.Time) {
 	t.phase = "mpi:" + op
 	h := t.mpiLat[op]
 	if h == nil {
+		rank := "all"
+		if !t.rt.lean {
+			rank = strconv.Itoa(t.rank)
+		}
 		h = t.eng().Metrics.Histogram(MPILatencyNs,
 			"per-task MPI operation latency by op",
-			"rank", strconv.Itoa(t.rank), "op", op)
+			"rank", rank, "op", op)
 		t.mpiLat[op] = h
 	}
 	h.Observe(int64(t.proc.Now() - start))

@@ -102,9 +102,9 @@ func TestParallelExcludedFromHash(t *testing.T) {
 
 // TestParallelLimitsStillApply: resource caps keep working under the sharded
 // engine. The global event budget trips a *sim.LimitError for every worker
-// count, and with one worker the halt is byte-for-byte the serial halt (with
-// more workers the At attribution may vary — the count never does; see
-// DESIGN.md §12).
+// count, and the error is byte-for-byte identical across worker counts: the
+// group attributes the halt to the canonical (at, depth, lp, seq)-least
+// event that exhausted the budget, independent of scheduling (DESIGN.md §12).
 func TestParallelLimitsStillApply(t *testing.T) {
 	cfg := Config{System: topo.Beacon(2), Backed: true, MaxTasks: 4}
 	cfg.Limits.MaxEvents = 2000
@@ -116,12 +116,10 @@ func TestParallelLimitsStillApply(t *testing.T) {
 		if !errors.As(err, &le) || le.Resource != "events" || le.Limit != 2000 {
 			t.Fatalf("workers=%d: Run = %v, want *sim.LimitError{events, 2000}", workers, err)
 		}
-		if workers <= 1 {
-			if serialMsg == "" {
-				serialMsg = err.Error()
-			} else if err.Error() != serialMsg {
-				t.Fatalf("workers=%d halt diverges from serial:\n %s\n %s", workers, err, serialMsg)
-			}
+		if serialMsg == "" {
+			serialMsg = err.Error()
+		} else if err.Error() != serialMsg {
+			t.Fatalf("workers=%d halt diverges from serial:\n %s\n %s", workers, err, serialMsg)
 		}
 	}
 }

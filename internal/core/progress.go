@@ -35,6 +35,12 @@ type ParkCount struct {
 	N         int    `json:"n"`
 }
 
+// PhaseCount aggregates the per-rank phase list by phase (lean mode).
+type PhaseCount struct {
+	Phase string `json:"phase"`
+	N     int    `json:"n"`
+}
+
 // Heartbeat is one progress snapshot, taken at virtual instant AtNs with
 // every event at or before AtNs dispatched and nothing later started.
 type Heartbeat struct {
@@ -49,8 +55,12 @@ type Heartbeat struct {
 	// Parked histograms every blocked process by what it waits on.
 	Parked []ParkCount `json:"parked,omitempty"`
 	// Phases is each rank's last observed activity ("mpi:recv", "compute",
-	// "accwait", ...; "" before the task's first operation).
-	Phases []string `json:"phases"`
+	// "accwait", ...; "" before the task's first operation). Omitted in
+	// lean mode, which reports PhaseCounts instead.
+	Phases []string `json:"phases,omitempty"`
+	// PhaseCounts histograms the ranks by phase, sorted by phase name —
+	// the lean-mode replacement for the O(ranks) Phases list.
+	PhaseCounts []PhaseCount `json:"phase_counts,omitempty"`
 	// Message-path counters accumulated across node hubs.
 	IntraMsgs uint64 `json:"intra_msgs"`
 	NetOut    uint64 `json:"net_out"`
@@ -103,9 +113,26 @@ func (rt *Runtime) emitHeartbeat(seq int, at sim.Time) {
 			hb.Parked = append(hb.Parked, ParkCount{BlockedOn: k, N: counts[k]})
 		}
 	}
-	hb.Phases = make([]string, len(rt.tasks))
-	for i, t := range rt.tasks {
-		hb.Phases[i] = t.phase
+	if rt.lean {
+		// O(distinct phases) instead of O(ranks): big-run heartbeats stay a
+		// few hundred bytes at 100k ranks.
+		phases := map[string]int{}
+		for _, t := range rt.tasks {
+			phases[t.phase]++
+		}
+		keys := make([]string, 0, len(phases))
+		for k := range phases {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			hb.PhaseCounts = append(hb.PhaseCounts, PhaseCount{Phase: k, N: phases[k]})
+		}
+	} else {
+		hb.Phases = make([]string, len(rt.tasks))
+		for i, t := range rt.tasks {
+			hb.Phases[i] = t.phase
+		}
 	}
 	nodes := make([]int, 0, len(rt.nodes))
 	for n := range rt.nodes {

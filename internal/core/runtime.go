@@ -72,7 +72,17 @@ type Runtime struct {
 	// Limits.MaxAllocBytes cap, atomically since tasks allocate from
 	// concurrent shards.
 	allocBytes atomic.Int64
+	// lean reports whether Config.Lean is active for this run: set only
+	// when the mapping exceeds leanRankThreshold ranks, so small systems
+	// run byte-identically with the flag on or off.
+	lean bool
 }
+
+// leanRankThreshold is the rank count above which Config.Lean changes
+// behaviour: at or below it every lean reduction is a no-op (per-rank
+// detail is cheap), so lean runs of small systems stay byte-identical to
+// non-lean runs.
+const leanRankThreshold = 256
 
 // defaultStreamFlushBeat bounds the streaming tracer's memory on runs with
 // no natural window barriers (single shard): flush at least once per
@@ -161,6 +171,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		lookahead = 0
 	}
 	rt.Eng = perNode[0]
+	if cfg.MetricsPool != nil {
+		// Pooled registries replace the engines' fresh ones; Execute hands
+		// them back once the report is snapshotted and the aggregate merged.
+		for _, e := range rt.shards {
+			//impacc:allow-sharddiscipline setup-time registry adoption before group.Run: every engine is quiescent, no shard owns anything yet
+			e.AdoptMetrics(cfg.MetricsPool.Get())
+		}
+	}
 	rt.group = sim.NewShardGroup(rt.shards, lookahead, cfg.Parallel)
 	if cfg.Limits.MaxVirtualTime > 0 {
 		rt.group.Deadline = sim.Time(cfg.Limits.MaxVirtualTime)
@@ -203,6 +221,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.placements = BuildMapping(cfg.System, cfg.DeviceTypes, cfg.MaxTasks)
 	if len(rt.placements) == 0 {
 		return nil, fmt.Errorf("core: no accelerators match device types %v", cfg.DeviceTypes)
+	}
+	rt.lean = cfg.Lean && len(rt.placements) > leanRankThreshold
+	if rt.lean && cfg.Trace != nil && !cfg.Trace.Streaming() {
+		return nil, fmt.Errorf("core: lean mode above %d ranks requires a streaming tracer (span sink): a buffered trace would hold the whole causal graph in RAM", leanRankThreshold)
 	}
 	mcfg := cfg.msgConfig()
 	for rank, pl := range rt.placements {
@@ -271,6 +293,10 @@ func (rt *Runtime) pinSocket(pl Placement) int {
 // Tasks exposes the task list (for test instrumentation).
 func (rt *Runtime) Tasks() []*Task { return rt.tasks }
 
+// Events is the total dispatched event count across all shards — the
+// denominator a harness divides wall time by for events/sec (BENCH_topo).
+func (rt *Runtime) Events() uint64 { return rt.group.Events() }
+
 // Cancel stops an Execute in flight as soon as every shard finishes its
 // current event; Execute then returns a *sim.CancelError. It is safe to
 // call from any goroutine at any time (it only flips atomic flags), which
@@ -282,6 +308,9 @@ func (rt *Runtime) Cancel() { rt.group.Cancel() }
 
 // Execute runs prog across all tasks to completion.
 func (rt *Runtime) Execute(prog Program) (*Report, error) {
+	// Registered before mergeMetrics so LIFO ordering releases the shard
+	// registries only after the aggregate merge has read them.
+	defer rt.releaseMetrics()
 	defer rt.mergeMetrics()
 	for _, t := range rt.tasks {
 		t := t
@@ -348,6 +377,20 @@ func (rt *Runtime) runMetrics() *telemetry.Registry {
 		rt.metrics = reg
 	}
 	return rt.metrics
+}
+
+// releaseMetrics hands the run's shard registries back to the configured
+// pool. It runs after mergeMetrics and after the report snapshot (both
+// deep-copy what they need), so nothing reads the registries afterwards;
+// the Runtime must not be reused once Execute returns.
+func (rt *Runtime) releaseMetrics() {
+	if rt.Cfg.MetricsPool == nil {
+		return
+	}
+	for _, e := range rt.shards {
+		rt.Cfg.MetricsPool.Put(e.Metrics)
+	}
+	rt.metrics = nil
 }
 
 // mergeMetrics folds the run's merged registry into the shared aggregate

@@ -157,7 +157,7 @@ func (h *Hub) netInject(cmd *Cmd, m *netMsg, dst *Hub, n int64, attempt int) {
 	// is reusable once the message has left the wire, so Done fires at
 	// arrival time regardless of ejection-side contention — a contended
 	// destination NIC delays only delivery, never the sender.
-	arrive, occupy := h.Fab.NetInjectAsync(h.Node, n)
+	arrive, occupy := h.Fab.NetInjectAsync(h.Node, dst.Node, n)
 	h.Eng.At(arrive, func() { cmd.Done.Fire() })
 	dstEng := h.Fab.Engine(dst.Node)
 	h.Eng.Post(dstEng, arrive, func() {

@@ -28,7 +28,7 @@ import (
 // and the defaults are resolved before hashing so "iters omitted" and
 // "iters: 10" are the same job.
 type JobSpec struct {
-	System  string `json:"system"`            // preset selector: psg, beacon:N, titan:N, hetero
+	System  string `json:"system"`            // preset selector: psg, beacon:N, titan:N, hetero, fattree:k, dragonfly:g,a,p, gemini:X,Y,Z
 	App     string `json:"app"`               // dgemm, ep, jacobi, lulesh
 	Mode    string `json:"mode,omitempty"`    // impacc (default) or legacy
 	Style   string `json:"style,omitempty"`   // sync, async, unified (default by mode)
@@ -49,6 +49,11 @@ type JobSpec struct {
 	// content address: serial and parallel submissions of the same job
 	// coalesce onto one cache entry.
 	ParSim int `json:"par_sim,omitempty"`
+	// Lean turns on the memory-lean big-run mode (impacc-run -lean): above
+	// 256 ranks per-rank telemetry and heartbeats aggregate. Lean changes
+	// what a big run reports, so unlike ParSim it IS part of the content
+	// address (a lean and a non-lean submission are different jobs).
+	Lean bool `json:"lean,omitempty"`
 	// ProgressEvery is the virtual-time heartbeat interval for the job's
 	// /events feed, as a duration literal ("250us", "1ms"). Like ParSim it
 	// is an observer knob — heartbeats never change simulated bytes — so it
@@ -117,6 +122,7 @@ func compile(spec JobSpec) (*compiled, error) {
 	cfg := core.Config{
 		System: sys, Mode: mode, MaxTasks: spec.Tasks, DeviceTypes: mask,
 		Backed: backed, Seed: seed, JitterPct: 1, Parallel: spec.ParSim,
+		Lean: spec.Lean,
 	}
 	if spec.Chaos != "" {
 		cfg.Chaos, err = fault.ParseSpec(spec.Chaos)

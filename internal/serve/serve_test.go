@@ -601,3 +601,71 @@ func TestUnknownJobRoutes(t *testing.T) {
 func coreLimitsMaxEvents(n int64) core.Limits {
 	return core.Limits{MaxEvents: n}
 }
+
+// TestPresetErrorSurfacesVerbatim: a bad system selector — here a node
+// count on a fixed-size preset — must reach the API client exactly as the
+// topo package phrased it, so the 400 body names the offending selector
+// instead of a generic "bad spec".
+func TestPresetErrorSurfacesVerbatim(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, system := range []string{"psg:8", "hetero:4"} {
+		bad := smallJob()
+		bad.System = system
+		body, err := json.Marshal(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s -> %d, want 400", system, resp.StatusCode)
+		}
+		var ae struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &ae); err != nil {
+			t.Fatalf("bad error body %q: %v", data, err)
+		}
+		// The exact message topo.Preset produces, verbatim.
+		if got, want := ae.Error, `topo: system "`+strings.Split(system, ":")[0]+`" is fixed-size and takes no node count (got "`+system+`")`; got != want {
+			t.Fatalf("error body %q, want %q", got, want)
+		}
+	}
+}
+
+// TestLeanChangesKey: lean changes what a big run reports, so unlike
+// par_sim it must move the content address.
+func TestLeanChangesKey(t *testing.T) {
+	plain := smallJob()
+	lean := smallJob()
+	lean.Lean = true
+	c1, err := compile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := compile(lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.key == c2.key {
+		t.Fatal("lean did not change the content address")
+	}
+}
+
+// TestGeneratedTopologyJob: the generated large-scale selectors are
+// reachable through the job API like any preset.
+func TestGeneratedTopologyJob(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	job := JobSpec{System: "fattree:4", App: "jacobi", N: 64, Iters: 1}
+	st, code := postJob(t, ts, job, true)
+	if code != 200 || st.State != stateDone {
+		t.Fatalf("fattree job -> %d %+v", code, st)
+	}
+}

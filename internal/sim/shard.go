@@ -61,7 +61,6 @@ type ShardGroup struct {
 	// to flush safely (see core's streaming tracer).
 	OnWindow func(fence Time)
 
-	budget    atomic.Int64
 	cancelled atomic.Bool
 	nextBeat  Time
 
@@ -134,11 +133,12 @@ func (g *ShardGroup) MaxNow() Time {
 // Deadline/MaxEvents cap, *CancelError, or *PanicError. However it ends,
 // every unfinished process on every shard is unwound before returning.
 func (g *ShardGroup) Run() error {
-	if g.MaxEvents != 0 {
-		g.budget.Store(int64(g.MaxEvents))
-		for _, e := range g.engines {
-			e.budget, e.budgetLimit = &g.budget, int64(g.MaxEvents)
-		}
+	if g.MaxEvents != 0 && len(g.engines) == 1 && g.engines[0].MaxEvents == 0 {
+		// A single-shard group degenerates to the classic engine loop; the
+		// engine's own MaxEvents check reproduces serial semantics exactly.
+		// Multi-shard groups enforce the cap at window barriers instead
+		// (see armEventBudget / checkEventBudget).
+		g.engines[0].MaxEvents = g.MaxEvents
 	}
 	stopErr := g.windows()
 	var err error
@@ -226,6 +226,7 @@ func (g *ShardGroup) windows() error {
 				active = append(active, e)
 			}
 		}
+		g.armEventBudget()
 		g.runWindow(active, fence, errs)
 		// The stop error of the lowest shard index wins, deterministically.
 		for i := range errs {
@@ -233,11 +234,14 @@ func (g *ShardGroup) windows() error {
 				return errs[i]
 			}
 		}
+		if err := g.checkEventBudget(); err != nil {
+			return err
+		}
 		if g.halted() {
 			return nil // a shard halted (panic or Halt); stop the run
 		}
 		if g.OnWindow != nil {
-			g.OnWindow(fence)
+			g.OnWindow(g.windowFence(fence))
 		}
 		if err := g.exchange(); err != nil {
 			return err
@@ -297,6 +301,118 @@ func (g *ShardGroup) runWindow(active []*Engine, fence Time, errs []error) {
 	for _, e := range active {
 		errs[e.lp] = e.runUntil(fence)
 	}
+}
+
+// limitStamp is the canonical position of one dispatched event, recorded
+// while a window runs within exactThreshold of the MaxEvents budget so the
+// barrier can name the exact event that exhausted it.
+type limitStamp struct {
+	at  Time
+	dl  uint64
+	seq uint64
+}
+
+// exactThreshold is the remaining-budget distance below which shards start
+// recording canonical stamps for exact MaxEvents attribution. It must be at
+// least a few times the shard count so the coarse mode's per-shard window
+// caps stay >= 1.
+func (g *ShardGroup) exactThreshold() int64 {
+	t := int64(4 * len(g.engines))
+	if t < 4096 {
+		t = 4096
+	}
+	return t
+}
+
+// armEventBudget distributes the remaining MaxEvents budget to the shards
+// for one window. Far from the cap every shard gets an equal slice small
+// enough that the window total can never cross the budget; within
+// exactThreshold of it, each shard may dispatch up to the full remainder
+// and records canonical stamps so checkEventBudget can attribute the limit
+// error exactly. Both caps are pure functions of barrier state, so the
+// whole trajectory — including the final window's bounded overshoot — is
+// identical at every worker count.
+func (g *ShardGroup) armEventBudget() {
+	if g.MaxEvents == 0 || len(g.engines) == 1 {
+		return
+	}
+	remaining := int64(g.MaxEvents) - int64(g.Events())
+	exact := remaining <= g.exactThreshold()
+	for _, e := range g.engines {
+		e.winCount = 0
+		if exact {
+			e.winCap = uint64(remaining)
+			if e.winStamps == nil {
+				e.winStamps = make([]limitStamp, 0, remaining)
+			} else {
+				e.winStamps = e.winStamps[:0]
+			}
+		} else {
+			// remaining > exactThreshold >= 4*shards keeps this cap >= 2.
+			e.winCap = uint64(remaining / int64(2*len(g.engines)))
+			e.winStamps = nil
+		}
+	}
+}
+
+// checkEventBudget ends the run once the shards' combined dispatch count
+// reaches MaxEvents, attributing the *LimitError to the canonical
+// (at, depth, lp, seq)-least event that exhausted the budget — the same
+// event a serial engine over the merged schedule would have stopped at —
+// so the error bytes match at every worker count.
+func (g *ShardGroup) checkEventBudget() error {
+	if g.MaxEvents == 0 || len(g.engines) == 1 {
+		return nil
+	}
+	total := g.Events()
+	if total < g.MaxEvents {
+		return nil
+	}
+	// The budget can only be crossed with stamp recording armed (far from
+	// the cap the window caps keep the total strictly below it), so every
+	// dispatch of the crossing window is stamped. The budget ran out at the
+	// r-th canonical stamp, where r is the pre-window remainder.
+	var windowEvents int64
+	for _, e := range g.engines {
+		windowEvents += int64(e.winCount)
+	}
+	r := int64(g.MaxEvents) - (int64(total) - windowEvents)
+	var stamps []limitStamp
+	for _, e := range g.engines {
+		stamps = append(stamps, e.winStamps...)
+	}
+	sort.Slice(stamps, func(i, j int) bool {
+		a, b := stamps[i], stamps[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.dl != b.dl {
+			return a.dl < b.dl
+		}
+		return a.seq < b.seq
+	})
+	at := g.MaxNow()
+	if r >= 1 && int64(len(stamps)) >= r {
+		at = stamps[r-1].at
+	}
+	return &LimitError{Resource: "events", Limit: int64(g.MaxEvents), At: at}
+}
+
+// windowFence is the fence OnWindow observers may trust: every event
+// strictly before it has been dispatched on every shard, and every future
+// record will be stamped at or after it. Normally that is the window fence
+// itself; when an event-budget cap paused a shard mid-window, it is pulled
+// back to the earliest still-pending event.
+func (g *ShardGroup) windowFence(fence Time) Time {
+	if g.MaxEvents == 0 || len(g.engines) == 1 {
+		return fence
+	}
+	for _, e := range g.engines {
+		if at, ok := e.nextAt(); ok && at < fence {
+			fence = at
+		}
+	}
+	return fence
 }
 
 // NextAt exposes the group's global clock to observers: the earliest

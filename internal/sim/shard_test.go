@@ -145,10 +145,14 @@ func TestShardGroupDeadlockUnion(t *testing.T) {
 }
 
 // TestShardGroupMaxEventsBudget: the group-wide event cap stops the run with
-// a LimitError carrying the configured cap, and (serial workers) dispatches
-// exactly the budgeted number of events. With workers > 1 the tripping shard
-// may vary, but the global count can never exceed the cap.
+// a LimitError attributed to the canonical (at, depth, lp, seq)-least event
+// that exhausted the budget, so the error — and the whole trajectory,
+// including the final window's bounded overshoot — is byte-identical at
+// every worker count. Four shards tick every 7ns, so the canonical 40th
+// dispatch is the 10th tick at t=70.
 func TestShardGroupMaxEventsBudget(t *testing.T) {
+	var wantErr string
+	var wantEvents uint64
 	for _, workers := range []int{1, 4} {
 		engines := make([]*Engine, 4)
 		for i := range engines {
@@ -170,10 +174,65 @@ func TestShardGroupMaxEventsBudget(t *testing.T) {
 		if le.Resource != "events" || le.Limit != 40 {
 			t.Fatalf("workers=%d: limit error %+v, want events/40", workers, le)
 		}
-		if got := g.Events(); got > 40 {
-			t.Fatalf("workers=%d: dispatched %d events past the cap 40", workers, got)
-		} else if workers == 1 && got != 40 {
-			t.Fatalf("workers=1: dispatched %d events, want exactly the cap 40", got)
+		if le.At != Time(70) {
+			t.Fatalf("workers=%d: limit error at t=%v, want the canonical 40th event at t=70ns", workers, Dur(le.At))
+		}
+		if got := g.Events(); got < 40 {
+			t.Fatalf("workers=%d: dispatched only %d events before tripping the cap 40", workers, got)
+		}
+		if workers == 1 {
+			wantErr, wantEvents = err.Error(), g.Events()
+			continue
+		}
+		if err.Error() != wantErr {
+			t.Fatalf("workers=%d: error %q differs from serial %q", workers, err, wantErr)
+		}
+		if g.Events() != wantEvents {
+			t.Fatalf("workers=%d: dispatched %d events, serial dispatched %d", workers, g.Events(), wantEvents)
+		}
+	}
+}
+
+// TestShardGroupMaxEventsFarFromCap: a budget far above the exact-attribution
+// threshold still stops the run deterministically — the coarse per-window
+// caps shrink the remainder until exact stamping engages, and the final
+// error matches across worker counts.
+func TestShardGroupMaxEventsFarFromCap(t *testing.T) {
+	var wantErr string
+	var wantEvents uint64
+	for _, workers := range []int{1, 3} {
+		engines := make([]*Engine, 3)
+		for i := range engines {
+			engines[i] = NewLPEngine(i)
+		}
+		g := NewShardGroup(engines, 100, workers)
+		g.MaxEvents = 9000 // > exactThreshold (4096): exercises the coarse mode
+		for _, e := range engines {
+			e := e
+			var tick func()
+			tick = func() { e.After(Dur(5), tick) }
+			e.After(Dur(5), tick)
+		}
+		err := g.Run()
+		le, ok := err.(*LimitError)
+		if !ok {
+			t.Fatalf("workers=%d: Run returned %v, want LimitError", workers, err)
+		}
+		if le.Resource != "events" || le.Limit != 9000 {
+			t.Fatalf("workers=%d: limit error %+v, want events/9000", workers, le)
+		}
+		// 3 shards tick in lockstep: the canonical 9000th dispatch is the
+		// 3000th tick at t=15000.
+		if le.At != Time(15000) {
+			t.Fatalf("workers=%d: limit error at t=%v, want t=15000ns", workers, Dur(le.At))
+		}
+		if workers == 1 {
+			wantErr, wantEvents = err.Error(), g.Events()
+			continue
+		}
+		if err.Error() != wantErr || g.Events() != wantEvents {
+			t.Fatalf("workers=%d: (%q, %d events) differs from serial (%q, %d events)",
+				workers, err, g.Events(), wantErr, wantEvents)
 		}
 	}
 }

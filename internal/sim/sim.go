@@ -133,11 +133,17 @@ type Engine struct {
 	// ShardGroup drains it at every window barrier; standalone engines
 	// never fill it.
 	outbox []remoteEvent
-	// budget, when non-nil, is a group-shared countdown of dispatchable
-	// events (ShardGroup's MaxEvents). budgetLimit is the configured cap,
-	// kept for the error message.
-	budget      *atomic.Int64
-	budgetLimit int64
+	// winCap, when non-zero, caps this engine's dispatches inside the
+	// current window (the ShardGroup's deterministic MaxEvents
+	// enforcement): reaching it pauses the shard until the barrier, like an
+	// exhausted fence, without halting. winCount counts the window's
+	// dispatches; winStamps, when non-nil, records their canonical
+	// (at, dl, seq) stamps so the group can name the budget-exhausting
+	// event exactly. All three are rearmed by the coordinator at every
+	// window barrier.
+	winCap    uint64
+	winCount  uint64
+	winStamps []limitStamp
 
 	// heap is a 4-ary min-heap on (at, seq) holding every pending event
 	// scheduled for a future instant. Events for the current instant
@@ -647,12 +653,11 @@ func (e *Engine) runUntil(fence Time) error {
 			e.halted = true
 			return &LimitError{Resource: "events", Limit: int64(e.MaxEvents), At: e.now}
 		}
-		// The group budget is debited one event up front and credited back
-		// on every return path that does not dispatch, so it counts exactly
-		// the dispatched events regardless of how many windows ran.
-		if e.budget != nil && e.budget.Add(-1) < 0 {
-			e.halted = true
-			return &LimitError{Resource: "events", Limit: e.budgetLimit, At: e.now}
+		// An exhausted window cap pauses the shard without halting it — the
+		// next event stays queued and the group decides at the barrier
+		// whether the combined budget is spent (see checkEventBudget).
+		if e.winCap != 0 && e.winCount >= e.winCap {
+			return nil
 		}
 		var ev *event
 		switch {
@@ -670,23 +675,19 @@ func (e *Engine) runUntil(fence Time) error {
 			e.nowQ = e.nowQ[:0]
 			e.nowQHead = 0
 			if len(e.heap) == 0 {
-				e.creditBudget()
 				return nil
 			}
 			if e.heap[0].at >= fence {
-				e.creditBudget()
 				return nil // window exhausted; event stays queued
 			}
 			ev = e.popHeap()
 			if e.Deadline != 0 && ev.at > e.Deadline {
 				e.free(ev)
-				e.creditBudget()
 				e.halted = true
 				return &LimitError{Resource: "vtime", Limit: int64(e.Deadline), At: e.now}
 			}
 			if e.MaxTime != 0 && ev.at > e.MaxTime {
 				e.free(ev)
-				e.creditBudget()
 				e.halted = true
 				return nil
 			}
@@ -699,8 +700,12 @@ func (e *Engine) runUntil(fence Time) error {
 		if e.flight != nil {
 			e.recordFlight(ev.at, ev.dl, ev.seq, p)
 		}
+		if e.winStamps != nil {
+			e.winStamps = append(e.winStamps, limitStamp{at: ev.at, dl: ev.dl, seq: ev.seq})
+		}
 		e.free(ev)
 		e.dispatched++
+		e.winCount++
 		if p != nil {
 			if !p.done { // lazy cancellation: skip dead processes
 				e.runProc(p)
@@ -711,14 +716,6 @@ func (e *Engine) runUntil(fence Time) error {
 		e.dispatchDepth = -1
 	}
 	return nil
-}
-
-// creditBudget returns the event debited at the top of the run loop when
-// the iteration ends without dispatching.
-func (e *Engine) creditBudget() {
-	if e.budget != nil {
-		e.budget.Add(1)
-	}
 }
 
 // nextAt reports the time of the engine's earliest pending event, or false

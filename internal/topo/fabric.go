@@ -276,17 +276,20 @@ func (f *Fabric) CanP2P(node, a, b int) bool {
 // endpoints must live in the same engine (unsharded fabrics only); the
 // sharded message path uses NetInjectAsync + NetAcceptAsync instead.
 func (f *Fabric) NetSendAsync(srcNode, dstNode int, n int64) sim.Time {
-	occupy, tail := f.netPrice(srcNode, n)
+	occupy, tail := f.netPrice(srcNode, dstNode, n)
 	_, end := sim.CoUseAsync(occupy, f.nodes[srcNode].NICOut, f.nodes[dstNode].NICIn)
 	return end + sim.Time(tail)
 }
 
 // netPrice computes the (possibly fault-degraded) NIC occupancy and fixed
-// tail of an n-byte transfer injected by srcNode now.
-func (f *Fabric) netPrice(srcNode int, n int64) (occupy sim.Dur, tail sim.Dur) {
+// tail of an n-byte transfer injected by srcNode now toward dstNode. Under
+// a generated topology (System.Topo) the tail additionally pays the route's
+// extra switch hops; HopExtra is always >= 0, so the MinNetLatency
+// lookahead bound is unaffected.
+func (f *Fabric) netPrice(srcNode, dstNode int, n int64) (occupy sim.Dur, tail sim.Dur) {
 	link := f.Sys.Nodes[srcNode].NIC.Link
 	occupy = link.Occupy(n)
-	tail = link.Latency + link.SWOverhead
+	tail = link.Latency + link.SWOverhead + f.Sys.HopExtra(srcNode, dstNode)
 	if f.Faults != nil {
 		now := f.engines[srcNode].Now()
 		if factor := f.Faults.LinkFactor(srcNode, now); factor > 1 {
@@ -297,16 +300,17 @@ func (f *Fabric) netPrice(srcNode int, n int64) (occupy sim.Dur, tail sim.Dur) {
 	return occupy, tail
 }
 
-// NetInjectAsync prices the source half of an internode transfer: the
-// source NIC's injection side is occupied from when it frees up, and the
-// message's trailing byte reaches the destination NIC at the returned
-// arrive time (injection end plus wire latency, stalls included). The
-// returned occupy is the transfer's wire occupancy, to be charged to the
-// destination with NetAcceptAsync at arrive — on the destination's engine.
-// arrive is always at least MinNetLatency past the source's current time,
-// which is what makes it safe to schedule across shards.
-func (f *Fabric) NetInjectAsync(srcNode int, n int64) (arrive sim.Time, occupy sim.Dur) {
-	occupy, tail := f.netPrice(srcNode, n)
+// NetInjectAsync prices the source half of an internode transfer toward
+// dstNode: the source NIC's injection side is occupied from when it frees
+// up, and the message's trailing byte reaches the destination NIC at the
+// returned arrive time (injection end plus wire latency, topology hop
+// extras, stalls included). The returned occupy is the transfer's wire
+// occupancy, to be charged to the destination with NetAcceptAsync at
+// arrive — on the destination's engine. arrive is always at least
+// MinNetLatency past the source's current time, which is what makes it
+// safe to schedule across shards.
+func (f *Fabric) NetInjectAsync(srcNode, dstNode int, n int64) (arrive sim.Time, occupy sim.Dur) {
+	occupy, tail := f.netPrice(srcNode, dstNode, n)
 	_, end := f.nodes[srcNode].NICOut.UseAsync(occupy)
 	return end + sim.Time(tail), occupy
 }

@@ -1,0 +1,236 @@
+package topo
+
+import (
+	"fmt"
+
+	"impacc/internal/sim"
+)
+
+// Generated large-scale topologies. The paper evaluates IMPACC up to 64
+// Titan nodes (Table 1); scaling studies need thousands, so these
+// generators build parameterized fat-tree, dragonfly, and 3D-torus systems
+// reachable through the Preset grammar (fattree:k, dragonfly:g,a,p,
+// gemini:X,Y,Z).
+//
+// A generated System carries a TopoSpec describing its interconnect shape.
+// The fabric consults it through System.HopExtra: internode transfers pay
+// an additional per-switch-hop latency on top of the NIC's fixed cost, so
+// distant nodes are measurably farther than neighbors. Hop extras are
+// always >= 0, which keeps MinNetLatency (the NIC fixed cost alone) a valid
+// conservative lookahead bound for the sharded engine: no generated route
+// is ever faster than the NIC itself.
+
+// MaxGeneratedNodes bounds generator output so a typo'd selector
+// (gemini:100,100,100) cannot exhaust host memory building node specs.
+const MaxGeneratedNodes = 65536
+
+// TopoSpec describes a generated interconnect's shape: the generator kind,
+// its parameters, and the extra wire latency charged per switch hop beyond
+// the first. It is plain data (JSON- and hash-friendly); the distance
+// functions below derive hop counts from node indices alone.
+type TopoSpec struct {
+	// Kind is the generator family: "fattree", "dragonfly", or "torus3d".
+	Kind string
+	// Params are the generator's parameters: fattree [k], dragonfly
+	// [g, a, p], torus3d [X, Y, Z].
+	Params []int
+	// HopLatency is the additional latency per extra switch hop; the NIC's
+	// own Link.Latency covers the minimal route.
+	HopLatency sim.Dur
+}
+
+// Hops returns the number of extra switch hops between nodes src and dst,
+// beyond the minimal route already priced into the NIC link. It is
+// symmetric and zero for src == dst.
+func (t *TopoSpec) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	switch t.Kind {
+	case "fattree":
+		// k-ary fat tree: k/2 hosts per edge switch, k/2 edge switches per
+		// pod. Same edge switch: minimal route (0 extra). Same pod: up to an
+		// aggregation switch and back (2 extra). Cross-pod: via core (4).
+		half := t.Params[0] / 2
+		if src/half == dst/half {
+			return 0
+		}
+		if src/(half*half) == dst/(half*half) {
+			return 2
+		}
+		return 4
+	case "dragonfly":
+		// g groups of a routers with p hosts each. Minimal routing: same
+		// router 0 extra; same group one local hop; across groups a global
+		// hop plus a local hop at each end unless the endpoint router owns
+		// the group's global link to the peer group (deterministically
+		// assigned as peer-group mod a).
+		a, p := t.Params[1], t.Params[2]
+		srcRouter, dstRouter := src/p, dst/p
+		if srcRouter == dstRouter {
+			return 0
+		}
+		srcGroup, dstGroup := srcRouter/a, dstRouter/a
+		if srcGroup == dstGroup {
+			return 1
+		}
+		hops := 1 // the global link
+		if srcRouter%a != dstGroup%a {
+			hops++ // local hop to the gateway router in the source group
+		}
+		if dstRouter%a != srcGroup%a {
+			hops++ // local hop from the gateway router in the destination group
+		}
+		return hops
+	case "torus3d":
+		// X*Y*Z torus (Titan's Gemini): hop count is the wraparound
+		// Manhattan distance; the first hop rides the NIC latency.
+		x, y, z := t.Params[0], t.Params[1], t.Params[2]
+		hops := torusDist(src%x, dst%x, x) +
+			torusDist((src/x)%y, (dst/x)%y, y) +
+			torusDist(src/(x*y), dst/(x*y), z)
+		return hops - 1
+	}
+	return 0
+}
+
+// torusDist is the wraparound distance between coordinates a and b on a
+// ring of size n.
+func torusDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// HopExtra returns the additional internode latency between src and dst
+// from the system's generated topology: extra hops times the per-hop
+// latency, zero for systems without a TopoSpec (the hand-written presets
+// model a flat network). Always >= 0, so MinNetLatency stays a valid
+// conservative lookahead under generated topologies.
+func (s *System) HopExtra(src, dst int) sim.Dur {
+	if s.Topo == nil || src == dst {
+		return 0
+	}
+	return sim.Dur(s.Topo.Hops(src, dst)) * s.Topo.HopLatency
+}
+
+// checkGenSize panics when a generator is asked for an absurd node count;
+// Preset validates selectors before calling, so this guards only direct
+// API misuse.
+func checkGenSize(name string, n int) {
+	if n < 1 || n > MaxGeneratedNodes {
+		panic(fmt.Sprintf("topo: %s would generate %d nodes (1..%d allowed)", name, n, MaxGeneratedNodes))
+	}
+}
+
+// genNode builds one generated compute node: a single-socket GPU node with
+// one accelerator, so a generated system runs one rank per node and scale
+// studies count nodes and ranks interchangeably.
+func genNode(name string, nic NICSpec) NodeSpec {
+	return NodeSpec{
+		Name: name,
+		Sockets: []SocketSpec{
+			{Name: "gen-cpu", Cores: 16, GFlopsDP: 300},
+		},
+		MemoryBytes:    64 << 30,
+		HostMemGBs:     10.0,
+		HostCopySW:     1200,
+		Inter:          LinkSpec{Latency: 130, GBs: 14, SWOverhead: 0},
+		NUMAPenalty:    1.0, // single socket
+		PageableFactor: 0.6,
+		ShmFactor:      0.5,
+		IPCOverhead:    3000,
+		NIC:            nic,
+		Devices: []DeviceSpec{{
+			Class:        NVIDIAGPU,
+			Name:         "gen-gpu",
+			MemoryBytes:  12 << 30,
+			Socket:       0,
+			GFlopsDP:     1300,
+			GemmEff:      0.78,
+			MemBWGBs:     250,
+			StencilEff:   0.55,
+			KernelLaunch: 8000,
+			PCIe:         LinkSpec{Latency: 900, GBs: 11.8, SWOverhead: 4000},
+			P2PGBs:       0, // one device per node: P2P never applies
+		}},
+	}
+}
+
+// FatTree returns a k-ary fat-tree system of k³/4 single-GPU nodes: k/2
+// hosts per edge switch, k/2 edge switches per pod, k pods. k must be even
+// and >= 2.
+func FatTree(k int) *System {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: FatTree k must be even and >= 2, got %d", k))
+	}
+	n := k * k * k / 4
+	checkGenSize("fattree", n)
+	sys := &System{
+		Name:           fmt.Sprintf("FatTree-%d", k),
+		MPIOverhead:    400,
+		ThreadMultiple: true,
+		Topo:           &TopoSpec{Kind: "fattree", Params: []int{k}, HopLatency: 90},
+	}
+	nic := NICSpec{
+		Name:   "mlx-edr",
+		Link:   LinkSpec{Latency: 1100, GBs: 10.0, SWOverhead: 500},
+		Socket: 0,
+		RDMA:   true,
+	}
+	sys.Nodes = make([]NodeSpec, 0, n)
+	for i := 0; i < n; i++ {
+		sys.Nodes = append(sys.Nodes, genNode(fmt.Sprintf("ft%05d", i), nic))
+	}
+	return sys
+}
+
+// Dragonfly returns a dragonfly system of g groups, a routers per group,
+// and p single-GPU nodes per router (g*a*p nodes total). All parameters
+// must be >= 1.
+func Dragonfly(g, a, p int) *System {
+	if g < 1 || a < 1 || p < 1 {
+		panic(fmt.Sprintf("topo: Dragonfly parameters must be >= 1, got g=%d a=%d p=%d", g, a, p))
+	}
+	n := g * a * p
+	checkGenSize("dragonfly", n)
+	sys := &System{
+		Name:           fmt.Sprintf("Dragonfly-%dx%dx%d", g, a, p),
+		MPIOverhead:    400,
+		ThreadMultiple: true,
+		Topo:           &TopoSpec{Kind: "dragonfly", Params: []int{g, a, p}, HopLatency: 120},
+	}
+	nic := NICSpec{
+		Name:   "aries",
+		Link:   LinkSpec{Latency: 1200, GBs: 8.0, SWOverhead: 600},
+		Socket: 0,
+		RDMA:   true,
+	}
+	sys.Nodes = make([]NodeSpec, 0, n)
+	for i := 0; i < n; i++ {
+		sys.Nodes = append(sys.Nodes, genNode(fmt.Sprintf("df%05d", i), nic))
+	}
+	return sys
+}
+
+// Gemini returns an X*Y*Z 3D-torus system matching Titan's real
+// interconnect: the per-node hardware is exactly the Titan preset's (AMD
+// Opteron 6274, one K20X, Cray Gemini NIC with GPUDirect RDMA), and
+// internode routes pay the torus's wraparound Manhattan hop distance on
+// top of the Gemini NIC latency. All dimensions must be >= 1.
+func Gemini(x, y, z int) *System {
+	if x < 1 || y < 1 || z < 1 {
+		panic(fmt.Sprintf("topo: Gemini dimensions must be >= 1, got %dx%dx%d", x, y, z))
+	}
+	n := x * y * z
+	checkGenSize("gemini", n)
+	sys := Titan(n)
+	sys.Name = fmt.Sprintf("Gemini-%dx%dx%d", x, y, z)
+	sys.Topo = &TopoSpec{Kind: "torus3d", Params: []int{x, y, z}, HopLatency: 100}
+	return sys
+}

@@ -86,10 +86,17 @@ type jsonNode struct {
 	NIC            jsonNIC      `json:"nic"`
 }
 
+type jsonTopo struct {
+	Kind       string `json:"kind"`
+	Params     []int  `json:"params"`
+	HopLatency int64  `json:"hopLatency"`
+}
+
 type jsonSystem struct {
 	Name           string     `json:"name"`
 	MPIOverhead    int64      `json:"mpiOverhead"`
 	ThreadMultiple bool       `json:"threadMultiple"`
+	Topo           *jsonTopo  `json:"topo"`
 	Nodes          []jsonNode `json:"nodes"`
 }
 
@@ -129,7 +136,43 @@ func LoadSystem(r io.Reader) (*System, error) {
 			sys.Nodes = append(sys.Nodes, n)
 		}
 	}
+	if js.Topo != nil {
+		spec, err := js.Topo.spec(len(sys.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		sys.Topo = spec
+	}
 	return sys, nil
+}
+
+// spec validates a JSON topology annotation: the kind must be a known
+// generator family whose parameters imply exactly the declared node count,
+// so hop distances derived from node indices stay meaningful.
+func (jt *jsonTopo) spec(nNodes int) (*TopoSpec, error) {
+	want := 0
+	switch jt.Kind {
+	case "fattree":
+		if len(jt.Params) != 1 || jt.Params[0] < 2 || jt.Params[0]%2 != 0 {
+			return nil, fmt.Errorf("topo: topo kind fattree needs params [k] with k even and >= 2, got %v", jt.Params)
+		}
+		k := jt.Params[0]
+		want = k * k * k / 4
+	case "dragonfly", "torus3d":
+		if len(jt.Params) != 3 || jt.Params[0] < 1 || jt.Params[1] < 1 || jt.Params[2] < 1 {
+			return nil, fmt.Errorf("topo: topo kind %s needs three positive params, got %v", jt.Kind, jt.Params)
+		}
+		want = jt.Params[0] * jt.Params[1] * jt.Params[2]
+	default:
+		return nil, fmt.Errorf("topo: unknown topo kind %q (fattree, dragonfly, torus3d)", jt.Kind)
+	}
+	if want != nNodes {
+		return nil, fmt.Errorf("topo: topo %s%v implies %d nodes but the system declares %d", jt.Kind, jt.Params, want, nNodes)
+	}
+	if jt.HopLatency < 0 {
+		return nil, fmt.Errorf("topo: topo hopLatency must be >= 0, got %d", jt.HopLatency)
+	}
+	return &TopoSpec{Kind: jt.Kind, Params: append([]int(nil), jt.Params...), HopLatency: dur(jt.HopLatency)}, nil
 }
 
 func (jn jsonNode) spec(idx int) (NodeSpec, error) {

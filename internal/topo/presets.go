@@ -6,37 +6,90 @@ import (
 	"strings"
 )
 
-// Preset resolves a textual system selector — "psg", "beacon:N", "titan:N",
-// "hetero" — into a cluster description. The bare names "beacon" and
-// "titan" default to 2 nodes. It is the shared grammar behind the CLIs'
-// -system flags and the serve job API's "system" field.
+// Preset resolves a textual system selector into a cluster description.
+// The grammar is name[:int[,int...]]:
+//
+//	psg, hetero          fixed-size presets; arguments are rejected
+//	beacon:N, titan:N    N nodes (default 2)
+//	fattree:k            generated k-ary fat tree, k³/4 nodes (k even)
+//	dragonfly:g,a,p      generated dragonfly, g*a*p nodes
+//	gemini:X,Y,Z         generated 3D torus of Titan nodes, X*Y*Z nodes
+//
+// It is the shared grammar behind the CLIs' -system flags and the serve
+// job API's "system" field; errors are phrased for direct display there.
 func Preset(sel string) (*System, error) {
-	name, arg, hasArg := strings.Cut(sel, ":")
-	n := 0
+	name, argstr, hasArg := strings.Cut(sel, ":")
+	var args []int
 	if hasArg {
-		v, err := strconv.Atoi(arg)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("topo: bad node count %q in system %q", arg, sel)
+		for _, field := range strings.Split(argstr, ",") {
+			v, err := strconv.Atoi(field)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("topo: bad parameter %q in system %q (positive integers only)", field, sel)
+			}
+			args = append(args, v)
 		}
-		n = v
+	}
+	// oneArg resolves the 0-or-1 argument selectors (beacon:N, titan:N).
+	oneArg := func(def int) (int, error) {
+		switch len(args) {
+		case 0:
+			return def, nil
+		case 1:
+			return args[0], nil
+		}
+		return 0, fmt.Errorf("topo: system %q takes one node count, got %d parameters", name, len(args))
 	}
 	switch name {
-	case "psg":
-		return PSG(), nil
+	case "psg", "hetero":
+		if hasArg {
+			return nil, fmt.Errorf("topo: system %q is fixed-size and takes no node count (got %q)", name, sel)
+		}
+		if name == "psg" {
+			return PSG(), nil
+		}
+		return HeteroDemo(), nil
 	case "beacon":
-		if n == 0 {
-			n = 2
+		n, err := oneArg(2)
+		if err != nil {
+			return nil, err
 		}
 		return Beacon(n), nil
 	case "titan":
-		if n == 0 {
-			n = 2
+		n, err := oneArg(2)
+		if err != nil {
+			return nil, err
 		}
 		return Titan(n), nil
-	case "hetero":
-		return HeteroDemo(), nil
+	case "fattree":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("topo: system fattree takes exactly one parameter k (fattree:k), got %q", sel)
+		}
+		k := args[0]
+		if k%2 != 0 {
+			return nil, fmt.Errorf("topo: fattree parameter k must be even, got %d", k)
+		}
+		if n := k * k * k / 4; n > MaxGeneratedNodes {
+			return nil, fmt.Errorf("topo: fattree:%d would generate %d nodes (max %d)", k, n, MaxGeneratedNodes)
+		}
+		return FatTree(k), nil
+	case "dragonfly":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("topo: system dragonfly takes exactly three parameters (dragonfly:g,a,p), got %q", sel)
+		}
+		if n := args[0] * args[1] * args[2]; n > MaxGeneratedNodes {
+			return nil, fmt.Errorf("topo: dragonfly:%d,%d,%d would generate %d nodes (max %d)", args[0], args[1], args[2], n, MaxGeneratedNodes)
+		}
+		return Dragonfly(args[0], args[1], args[2]), nil
+	case "gemini":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("topo: system gemini takes exactly three parameters (gemini:X,Y,Z), got %q", sel)
+		}
+		if n := args[0] * args[1] * args[2]; n > MaxGeneratedNodes {
+			return nil, fmt.Errorf("topo: gemini:%d,%d,%d would generate %d nodes (max %d)", args[0], args[1], args[2], n, MaxGeneratedNodes)
+		}
+		return Gemini(args[0], args[1], args[2]), nil
 	}
-	return nil, fmt.Errorf("topo: unknown system %q (psg, beacon:N, titan:N, hetero)", sel)
+	return nil, fmt.Errorf("topo: unknown system %q (psg, beacon:N, titan:N, hetero, fattree:k, dragonfly:g,a,p, gemini:X,Y,Z)", sel)
 }
 
 // Presets for the three evaluation systems of Table 1 plus the

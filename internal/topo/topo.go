@@ -192,6 +192,10 @@ type System struct {
 	// MPI_THREAD_MULTIPLE; if false, IMPACC serializes internode calls
 	// per node (paper §3.7).
 	ThreadMultiple bool
+	// Topo, when non-nil, describes a generated interconnect shape (see
+	// generate.go): internode transfers then pay an extra per-hop latency
+	// via HopExtra. Nil means a flat network (all hand-written presets).
+	Topo *TopoSpec `json:",omitempty"`
 }
 
 // TotalDevices counts accelerators of the given classes across the system;
